@@ -1,0 +1,88 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Heavy
+34-workload sweeps are computed once per configuration and memoised at
+module scope, so benchmarks that share a sweep (Figs. 6, 7, 9, 10) pay
+for it once.  Each benchmark also writes its rendered table to
+``benchmarks/results/<name>.txt`` so the artifacts survive pytest's
+output capture.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from typing import Dict
+
+from repro.sim import runner
+from repro.sim.runner import run_suite
+from repro.sim.stats import WorkloadResult
+
+
+EPOCHS = 2
+"""Refresh windows simulated per workload (epoch 2 exercises the
+steady-state lazy drain)."""
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def _factory(config: str, trh: int, **kwargs):
+    builders = {
+        "aqua-sram": runner.aqua_sram,
+        "aqua-mm": runner.aqua_memory_mapped,
+        "rrs": runner.rrs,
+        "blockhammer": runner.blockhammer,
+        "victim-refresh": runner.victim_refresh,
+    }
+    return builders[config](trh, **kwargs)
+
+
+@functools.lru_cache(maxsize=None)
+def sweep(
+    config: str, trh: int = 1000, extra: tuple = ()
+) -> Dict[str, WorkloadResult]:
+    """Run (or fetch) the 34-workload sweep for one configuration.
+
+    ``extra`` is a tuple of (key, value) pairs forwarded to the scheme
+    factory (e.g. bloom/FPT-cache sizes for the Fig. 11 sensitivity).
+    """
+    factory = _factory(config, trh, **dict(extra))
+    return run_suite(factory, epochs=EPOCHS)
+
+
+def gmean_loss_percent(results: Dict[str, WorkloadResult]) -> float:
+    """Geometric-mean slowdown as percent loss."""
+    return (runner.gmean_slowdown(results) - 1.0) * 100.0
+
+
+def write_table(name: str, text: str) -> None:
+    """Persist a rendered table under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text)
+
+
+def render_rows(headers, rows) -> str:
+    """Simple fixed-width table renderer."""
+    widths = [
+        max(len(str(header)), *(len(str(row[i])) for row in rows))
+        if rows
+        else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    def fmt(values):
+        return "  ".join(
+            str(value).rjust(width) for value, width in zip(values, widths)
+        )
+
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines) + "\n"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a table and persist it."""
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    write_table(name, text)

@@ -1,0 +1,61 @@
+"""Appendix B: AQUA with the Hydra tracker, end to end.
+
+The paper's Table VII shows AQUA-Hydra cutting total SRAM to 71 KB; the
+tracker swap must not change the mitigation behaviour in kind.  This
+sweep runs the full 34-workload suite under both trackers and compares
+slowdown, migration counts, and the SRAM bill.
+"""
+
+import pytest
+
+from repro.analysis.storage import hydra_tracker_bytes, misra_gries_tracker_bytes
+
+from bench_common import emit, gmean_loss_percent, render_rows, sweep
+
+
+def test_appendix_b_hydra(benchmark):
+    def run():
+        mg = sweep("aqua-mm", 1000)
+        hydra = sweep("aqua-mm", 1000, extra=(("tracker", "hydra"),))
+        return mg, hydra
+
+    mg, hydra = benchmark.pedantic(run, rounds=1, iterations=1)
+    mg_loss = gmean_loss_percent(mg)
+    hydra_loss = gmean_loss_percent(hydra)
+    mg_migrations = sum(r.migrations_per_epoch for r in mg.values()) / len(mg)
+    hydra_migrations = sum(
+        r.migrations_per_epoch for r in hydra.values()
+    ) / len(hydra)
+    mg_sram = misra_gries_tracker_bytes(500) / 1024
+    hydra_sram = hydra_tracker_bytes() / 1024
+
+    rows = [
+        (
+            "AQUA-MG",
+            f"{mg_loss:.2f}%",
+            f"{mg_migrations:,.0f}",
+            f"{mg_sram:.0f} KB",
+        ),
+        (
+            "AQUA-Hydra",
+            f"{hydra_loss:.2f}%",
+            f"{hydra_migrations:,.0f}",
+            f"{hydra_sram:.0f} KB",
+        ),
+    ]
+    text = render_rows(
+        ("Config", "Gmean-34 loss", "Migrations/64ms (avg)", "Tracker SRAM"),
+        rows,
+    )
+    text += (
+        "\nPaper (Table VII): tracker SRAM 396 KB (MG) vs ~30 KB (Hydra); "
+        "the paper does not report an AQUA-Hydra slowdown, only that the "
+        "tracker choice is orthogonal.\n"
+    )
+    emit("appendix_b_hydra", text)
+
+    # Hydra's conservative group inheritance over-mitigates somewhat but
+    # stays in the same regime: a few percent gmean loss, not RRS-like.
+    assert hydra_loss < 3 * max(mg_loss, 1.0)
+    assert hydra_migrations >= mg_migrations
+    assert mg_sram / hydra_sram > 8

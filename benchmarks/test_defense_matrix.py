@@ -1,0 +1,110 @@
+"""Security cross product: every mitigation vs every attack pattern.
+
+The qualitative landscape behind Table IV and Sec. VII: refresh-based
+defenses (TRR, PARA, victim refresh) fall to patterns that exploit
+their own mitigative refreshes; AQUA's quarantine bounds per-location
+activations under all of them.
+"""
+
+from repro.attacks import patterns
+from repro.attacks.adversary import AttackHarness
+from repro.core.aqua import AquaMitigation
+from repro.core.config import AquaConfig
+from repro.dram.address import AddressMapper
+from repro.dram.geometry import DramGeometry
+from repro.mitigations.none import NoMitigation
+from repro.mitigations.para import Para
+from repro.mitigations.trr import TargetRowRefresh
+from repro.mitigations.victim_refresh import VictimRefresh
+
+from bench_common import emit, render_rows
+
+
+GEOMETRY = DramGeometry(banks_per_rank=4, rows_per_bank=4096)
+TRH = 128
+TRIGGER = TRH // 2
+
+SCHEMES = ("none", "trr", "para", "victim-refresh", "aqua")
+ATTACKS = ("single", "double", "many", "half-double")
+
+
+def build_scheme(name):
+    if name == "none":
+        return NoMitigation(total_rows=GEOMETRY.rows_per_rank)
+    if name == "trr":
+        return TargetRowRefresh(
+            geometry=GEOMETRY, sampler_entries=4, refresh_burst=16
+        )
+    if name == "para":
+        return Para(
+            rowhammer_threshold=TRH, geometry=GEOMETRY,
+            probability=0.2, seed=9,
+        )
+    if name == "victim-refresh":
+        return VictimRefresh(
+            rowhammer_threshold=TRH, geometry=GEOMETRY,
+            tracker_entries_per_bank=64,
+        )
+    return AquaMitigation(
+        AquaConfig(
+            rowhammer_threshold=TRH,
+            geometry=GEOMETRY,
+            rqa_slots=2048,
+            tracker_entries_per_bank=64,
+        )
+    )
+
+
+def build_pattern(name, mapper):
+    if name == "single":
+        return patterns.single_sided(mapper, 1, 100, 3000)
+    if name == "double":
+        return patterns.double_sided(mapper, 1, 100, pairs=1500)
+    if name == "many":
+        return patterns.many_sided(mapper, 1, 100, aggressors=12, rounds=300)
+    return patterns.half_double(
+        mapper, 1, 100,
+        far_hammers=100 * TRIGGER,
+        near_hammers_per_epoch=TRIGGER - 1,
+    )
+
+
+def test_defense_matrix(benchmark):
+    def run():
+        mapper = AddressMapper(GEOMETRY)
+        outcome = {}
+        for scheme_name in SCHEMES:
+            for attack_name in ATTACKS:
+                harness = AttackHarness(
+                    build_scheme(scheme_name),
+                    rowhammer_threshold=TRH,
+                    geometry=GEOMETRY,
+                )
+                report = harness.run(build_pattern(attack_name, mapper))
+                outcome[(scheme_name, attack_name)] = report.succeeded
+        return outcome
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (
+            scheme,
+            *(
+                "FLIPS" if outcome[(scheme, attack)] else "ok"
+                for attack in ATTACKS
+            ),
+        )
+        for scheme in SCHEMES
+    ]
+    text = render_rows(("Scheme", *ATTACKS), rows)
+    emit("defense_matrix", text)
+
+    # The unprotected system falls to every pattern.
+    assert all(outcome[("none", attack)] for attack in ATTACKS)
+    # TRRespass: the 4-entry sampler loses to 12 concurrent aggressors.
+    assert outcome[("trr", "many")]
+    # Victim refresh stops classic patterns but not Half-Double.
+    assert not outcome[("victim-refresh", "single")]
+    assert not outcome[("victim-refresh", "double")]
+    assert outcome[("victim-refresh", "half-double")]
+    # AQUA survives everything.
+    assert not any(outcome[("aqua", attack)] for attack in ATTACKS)

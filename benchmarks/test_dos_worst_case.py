@@ -1,0 +1,80 @@
+"""Sec. VI-C: worst-case (denial-of-service) slowdown experiments.
+
+AQUA: forcing a quarantine (with eviction) in all banks as fast as
+possible bounds the slowdown near 2.95x.  Blockhammer: a benign
+two-row conflict pattern is throttled ~1280x.
+"""
+
+import pytest
+
+from repro.attacks import patterns
+from repro.attacks.adversary import AttackHarness
+from repro.core.aqua import AquaMitigation
+from repro.core.config import AquaConfig
+from repro.dram.geometry import DramGeometry
+from repro.mitigations.blockhammer import Blockhammer
+
+from bench_common import emit, render_rows
+
+
+GEOMETRY = DramGeometry(banks_per_rank=4, rows_per_bank=4096)
+TRH = 128
+
+
+def run_aqua_dos():
+    harness = AttackHarness(
+        AquaMitigation(
+            AquaConfig(
+                rowhammer_threshold=TRH,
+                geometry=GEOMETRY,
+                rqa_slots=4096,
+                tracker_entries_per_bank=128,
+            )
+        ),
+        rowhammer_threshold=TRH,
+        geometry=GEOMETRY,
+    )
+    pattern = patterns.dos_pattern(
+        harness.mapper, threshold=TRH // 2, rows_per_bank_used=16
+    )
+    return harness.run(pattern), harness
+
+
+def analytical_aqua_worst_case(threshold=500, banks=16):
+    # Sec. VI-C arithmetic: 16 concurrent triggers every A*tRC, each
+    # costing a migration-with-eviction.
+    t_trigger = threshold * 45.0
+    busy = banks * 2740.0
+    return (t_trigger + busy) / t_trigger
+
+
+def test_dos_worst_case(benchmark):
+    report, harness = benchmark.pedantic(run_aqua_dos, rounds=1, iterations=1)
+    bh = Blockhammer(rowhammer_threshold=1000)
+    rows = [
+        (
+            "AQUA (measured, adversarial rotation)",
+            f"{report.slowdown:.2f}x",
+        ),
+        (
+            "AQUA (analytical, Sec. VI-C)",
+            f"{analytical_aqua_worst_case():.2f}x (paper 2.95x)",
+        ),
+        (
+            "Blockhammer (analytical)",
+            f"{bh.worst_case_slowdown():.0f}x (paper 1280x)",
+        ),
+    ]
+    text = render_rows(("Scheme / method", "Worst-case slowdown"), rows)
+    text += (
+        f"\nAQUA migrations under attack: {report.migrations}; "
+        f"bit flips: {len(report.flips)}; invariant holds: "
+        f"{harness.invariant_holds()}\n"
+    )
+    emit("dos_worst_case", text)
+
+    assert analytical_aqua_worst_case() == pytest.approx(2.95, abs=0.05)
+    assert report.slowdown < 4.0
+    assert not report.succeeded
+    assert harness.invariant_holds()
+    assert bh.worst_case_slowdown() > 400 * report.slowdown

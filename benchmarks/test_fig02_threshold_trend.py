@@ -1,0 +1,23 @@
+"""Fig. 2: Rowhammer threshold decline across DRAM generations."""
+
+from repro.analysis.thresholds import THRESHOLD_TIMELINE, threshold_trend
+
+from bench_common import emit, render_rows
+
+
+def test_fig02_threshold_trend(benchmark):
+    def run():
+        return threshold_trend()
+
+    trend = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (p.year, p.technology, f"{p.rowhammer_threshold:,}", p.source)
+        for p in THRESHOLD_TIMELINE
+    ]
+    text = render_rows(("Year", "Technology", "T_RH", "Source"), rows)
+    text += (
+        f"\nReduction 2014->2020: {trend['reduction_factor']:.1f}x "
+        "(paper: ~30x, 139K -> 4.8K)\n"
+    )
+    emit("fig02_threshold_trend", text)
+    assert trend["reduction_factor"] > 25

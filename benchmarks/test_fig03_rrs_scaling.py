@@ -1,0 +1,50 @@
+"""Fig. 3: RRS slowdown as T_RH drops from 4K to 2K to 1K.
+
+Paper gmeans: 2.7% at 4K, 8.2% at 2K, 19.8% at 1K -- negligible at high
+thresholds, unacceptable at low ones.
+"""
+
+from bench_common import emit, gmean_loss_percent, render_rows, sweep
+
+
+PAPER_GMEAN = {4000: 2.7, 2000: 8.2, 1000: 19.8}
+
+
+def test_fig03_rrs_scaling(benchmark):
+    def run():
+        return {trh: sweep("rrs", trh) for trh in (4000, 2000, 1000)}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    gmeans = {trh: gmean_loss_percent(res) for trh, res in results.items()}
+
+    names = sorted(results[1000])
+    rows = [
+        (
+            name,
+            *(
+                f"{results[trh][name].percent_slowdown:6.2f}%"
+                for trh in (4000, 2000, 1000)
+            ),
+        )
+        for name in names
+    ]
+    rows.append(
+        (
+            "GMEAN-34",
+            *(
+                f"{gmeans[trh]:6.2f}% (paper {PAPER_GMEAN[trh]}%)"
+                for trh in (4000, 2000, 1000)
+            ),
+        )
+    )
+    text = render_rows(
+        ("Workload", "RRS @4K", "RRS @2K", "RRS @1K"), rows
+    )
+    emit("fig03_rrs_scaling", text)
+
+    # Shape assertions: slowdown grows sharply as the threshold drops,
+    # from negligible at 4K to heavy at 1K.
+    assert gmeans[4000] < gmeans[2000] < gmeans[1000]
+    assert gmeans[4000] < 6.0
+    assert gmeans[1000] > 10.0
+    assert gmeans[1000] / gmeans[4000] > 3.0

@@ -1,0 +1,46 @@
+"""Fig. 6: row migrations per 64 ms, AQUA vs RRS at T_RH = 1K.
+
+Paper: AQUA averages ~1099 row migrations per epoch, RRS ~9935 -- 9x
+more, with a guaranteed analytical floor of 6x (Appendix A).
+"""
+
+from repro.analysis.migration_model import empirical_ratio
+
+from bench_common import emit, render_rows, sweep
+
+
+def test_fig06_migrations(benchmark):
+    def run():
+        return sweep("aqua-sram", 1000), sweep("rrs", 1000)
+
+    aqua, rrs = benchmark.pedantic(run, rounds=1, iterations=1)
+    names = sorted(aqua)
+    rows = []
+    for name in names:
+        rows.append(
+            (
+                name,
+                f"{aqua[name].row_moves / aqua[name].epochs:9.0f}",
+                f"{rrs[name].row_moves / rrs[name].epochs:9.0f}",
+            )
+        )
+    aqua_avg = sum(r.row_moves / r.epochs for r in aqua.values()) / len(aqua)
+    rrs_avg = sum(r.row_moves / r.epochs for r in rrs.values()) / len(rrs)
+    rows.append(("AVERAGE", f"{aqua_avg:9.0f}", f"{rrs_avg:9.0f}"))
+    text = render_rows(("Workload", "AQUA moves/64ms", "RRS moves/64ms"), rows)
+    text += (
+        f"\nAQUA avg {aqua_avg:.0f} (paper 1099); RRS avg {rrs_avg:.0f} "
+        f"(paper 9935); ratio {empirical_ratio(int(aqua_avg) or 1, int(rrs_avg)):.1f}x "
+        "(paper 9x, floor 6x)\n"
+    )
+    emit("fig06_migrations", text)
+
+    # Shape: RRS performs several times more row migrations, above the
+    # Appendix A floor of 6x on average.
+    assert rrs_avg / aqua_avg > 6.0
+    # lbm and blender dominate, as in the paper.
+    heavy = {"lbm", "blender"}
+    top = sorted(
+        names, key=lambda n: aqua[n].row_moves, reverse=True
+    )[:3]
+    assert heavy & set(top)

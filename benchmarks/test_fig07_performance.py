@@ -1,0 +1,53 @@
+"""Fig. 7: performance of AQUA vs RRS normalised to baseline (T_RH=1K).
+
+Paper: AQUA loses 1.8% gmean, RRS 19.8% -- an order of magnitude apart.
+"""
+
+from bench_common import emit, gmean_loss_percent, render_rows, sweep
+
+
+def test_fig07_performance(benchmark):
+    def run():
+        return sweep("aqua-sram", 1000), sweep("rrs", 1000)
+
+    aqua, rrs = benchmark.pedantic(run, rounds=1, iterations=1)
+    names = sorted(aqua)
+    rows = [
+        (
+            name,
+            f"{aqua[name].normalized_performance:6.3f}",
+            f"{rrs[name].normalized_performance:6.3f}",
+        )
+        for name in names
+    ]
+    aqua_loss = gmean_loss_percent(aqua)
+    rrs_loss = gmean_loss_percent(rrs)
+    rows.append(
+        (
+            "GMEAN-34",
+            f"{1 / (1 + aqua_loss / 100):6.3f}",
+            f"{1 / (1 + rrs_loss / 100):6.3f}",
+        )
+    )
+    text = render_rows(("Workload", "AQUA norm.perf", "RRS norm.perf"), rows)
+    text += (
+        f"\nAQUA gmean loss {aqua_loss:.2f}% (paper 1.8%); "
+        f"RRS {rrs_loss:.2f}% (paper 19.8%)\n"
+    )
+    emit("fig07_performance", text)
+
+    # Shape: AQUA loses only a few percent; RRS is ~an order of
+    # magnitude worse; per-workload ordering holds.
+    assert aqua_loss < 5.0
+    assert rrs_loss > 10.0
+    assert rrs_loss / aqua_loss > 5.0
+    # Workloads without aggressor rows are unaffected by AQUA.
+    for cold in ("wrf", "parest"):
+        assert aqua[cold].percent_slowdown < 0.1
+    # cactuBSSN: many 166+ rows (RRS suffers) but none above 500
+    # (AQUA does not) -- the paper's Sec. IV-G example.
+    assert rrs["cactuBSSN"].percent_slowdown > 2.0
+    assert aqua["cactuBSSN"].percent_slowdown < 0.5
+    # lbm is the worst case: ~3x for RRS, under 20% for AQUA.
+    assert rrs["lbm"].slowdown > 2.0
+    assert aqua["lbm"].slowdown < 1.2

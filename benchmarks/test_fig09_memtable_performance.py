@@ -1,0 +1,38 @@
+"""Fig. 9: AQUA with SRAM tables vs memory-mapped tables.
+
+Paper: 1.8% vs 2.1% gmean loss -- the 4x SRAM saving of the
+memory-mapped design costs almost nothing.
+"""
+
+from bench_common import emit, gmean_loss_percent, render_rows, sweep
+
+
+def test_fig09_memtable_performance(benchmark):
+    def run():
+        return sweep("aqua-sram", 1000), sweep("aqua-mm", 1000)
+
+    sram, mm = benchmark.pedantic(run, rounds=1, iterations=1)
+    names = sorted(sram)
+    rows = [
+        (
+            name,
+            f"{sram[name].normalized_performance:6.3f}",
+            f"{mm[name].normalized_performance:6.3f}",
+        )
+        for name in names
+    ]
+    sram_loss = gmean_loss_percent(sram)
+    mm_loss = gmean_loss_percent(mm)
+    text = render_rows(
+        ("Workload", "AQUA-SRAM norm.perf", "AQUA-MM norm.perf"), rows
+    )
+    text += (
+        f"\nSRAM tables gmean loss {sram_loss:.2f}% (paper 1.8%); "
+        f"memory-mapped {mm_loss:.2f}% (paper 2.1%)\n"
+    )
+    emit("fig09_memtable_performance", text)
+
+    # Shape: the two designs are within a fraction of a percent.
+    assert mm_loss >= sram_loss
+    assert mm_loss - sram_loss < 1.5
+    assert mm_loss < 6.0

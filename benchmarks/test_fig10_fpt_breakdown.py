@@ -1,0 +1,51 @@
+"""Fig. 10: classification of FPT lookups with memory-mapped tables.
+
+Paper averages: 92.2% filtered by the bloom filter, 7.3% FPT-Cache
+hits, 0.4% singleton-filtered, <0.1% reach DRAM.
+"""
+
+from bench_common import emit, render_rows, sweep
+
+
+def test_fig10_fpt_breakdown(benchmark):
+    def run():
+        return sweep("aqua-mm", 1000)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    names = sorted(results)
+    rows = []
+    keys = ("bloom_filtered", "cache_hit", "singleton", "dram_access")
+    totals = {key: 0.0 for key in keys}
+    counted = 0
+    for name in names:
+        breakdown = results[name].lookup_breakdown or {}
+        if not breakdown:
+            continue
+        counted += 1
+        for key in keys:
+            totals[key] += breakdown.get(key, 0.0)
+        rows.append(
+            (name, *(f"{100 * breakdown.get(k, 0.0):7.3f}%" for k in keys))
+        )
+    averages = {key: totals[key] / counted for key in keys}
+    rows.append(
+        ("AVERAGE", *(f"{100 * averages[k]:7.3f}%" for k in keys))
+    )
+    text = render_rows(
+        ("Workload", "Bloom-reset", "FPT-Cache hit", "Singleton", "DRAM"),
+        rows,
+    )
+    text += (
+        "\nPaper averages: bloom 92.2%, cache-hit 7.3%, singleton 0.4%, "
+        "DRAM 0.02%\n"
+    )
+    emit("fig10_fpt_breakdown", text)
+
+    # Shape: the bloom filter dominates; DRAM accesses are rare.
+    assert averages["bloom_filtered"] > 0.60
+    assert averages["dram_access"] < 0.01
+    assert (
+        averages["bloom_filtered"]
+        > averages["cache_hit"]
+        > averages["dram_access"]
+    )

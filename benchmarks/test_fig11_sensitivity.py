@@ -1,0 +1,73 @@
+"""Fig. 11 + Sec. V-F: sensitivity to threshold and structure sizes.
+
+Paper: loss grows 0.2% -> 2.1% -> 6.8% as T_RH drops 2K -> 1K -> 500;
+bloom-filter size 8/16/32 KB gives 2.3/2.1/2.0%; FPT-Cache size barely
+matters.
+"""
+
+from bench_common import emit, gmean_loss_percent, render_rows, sweep
+
+
+def test_fig11_threshold_sensitivity(benchmark):
+    def run():
+        return {
+            trh: gmean_loss_percent(sweep("aqua-mm", trh))
+            for trh in (2000, 1000, 500)
+        }
+
+    losses = benchmark.pedantic(run, rounds=1, iterations=1)
+    paper = {2000: 0.2, 1000: 2.1, 500: 6.8}
+    rows = [
+        (trh, f"{losses[trh]:5.2f}%", f"{paper[trh]}%")
+        for trh in (2000, 1000, 500)
+    ]
+    text = render_rows(("T_RH", "Gmean loss", "Paper"), rows)
+    emit("fig11_threshold_sensitivity", text)
+
+    assert losses[2000] < losses[1000] < losses[500]
+    assert losses[2000] < 1.5
+    assert losses[500] > 2.0
+
+
+def test_fig11_structure_sensitivity(benchmark):
+    def run():
+        bloom = {
+            kb: gmean_loss_percent(
+                sweep(
+                    "aqua-mm",
+                    1000,
+                    extra=(("bloom_group_size", 256 // kb),),
+                )
+            )
+            for kb in (8, 16, 32)
+        }
+        cache = {
+            kb: gmean_loss_percent(
+                sweep(
+                    "aqua-mm",
+                    1000,
+                    extra=(("fpt_cache_entries", kb * 256),),
+                )
+            )
+            for kb in (8, 16, 32)
+        }
+        return bloom, cache
+
+    bloom, cache = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (f"{kb} KB", f"{bloom[kb]:5.2f}%", f"{cache[kb]:5.2f}%")
+        for kb in (8, 16, 32)
+    ]
+    text = render_rows(
+        ("Structure size", "Bloom-filter sweep", "FPT-Cache sweep"), rows
+    )
+    text += (
+        "\nPaper: bloom 2.3/2.1/2.0%; FPT-Cache flat at 2.1% "
+        "(8 to 32 KB)\n"
+    )
+    emit("fig11_structure_sensitivity", text)
+
+    # Shape: a bigger bloom filter (finer groups) never hurts; the
+    # differences are fractions of a percent.
+    assert bloom[32] <= bloom[8] + 0.05
+    assert max(cache.values()) - min(cache.values()) < 1.0

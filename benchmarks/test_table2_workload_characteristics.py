@@ -1,0 +1,61 @@
+"""Table II: MPKI and hot-row counts of the synthetic SPEC workloads.
+
+Verifies that the generators reproduce the paper's characterisation:
+per workload, the number of rows with 166+/500+/1000+ activations per
+64 ms epoch.
+"""
+
+from repro.workloads.spec import workload
+from repro.workloads.table2 import SPEC_NAMES, TABLE_II
+
+from bench_common import emit, render_rows
+
+
+def test_table2_workload_characteristics(benchmark):
+    def run():
+        measured = {}
+        for name in SPEC_NAMES:
+            trace = workload(name).epoch_trace(0)
+            measured[name] = (
+                trace.rows_at_or_above(166),
+                trace.rows_at_or_above(500),
+                trace.rows_at_or_above(1000),
+                trace.total_activations,
+            )
+        return measured
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for name in SPEC_NAMES:
+        spec = TABLE_II[name]
+        m166, m500, m1k, acts = measured[name]
+        rows.append(
+            (
+                name,
+                f"{spec.mpki:.2f}",
+                f"{m166} ({spec.act_166_plus})",
+                f"{m500} ({spec.act_500_plus})",
+                f"{m1k} ({spec.act_1k_plus})",
+                f"{acts:,}",
+            )
+        )
+    text = render_rows(
+        (
+            "Workload",
+            "MPKI",
+            "ACT-166+ (paper)",
+            "ACT-500+ (paper)",
+            "ACT-1K+ (paper)",
+            "ACTs/epoch",
+        ),
+        rows,
+    )
+    emit("table2_workload_characteristics", text)
+    for name in SPEC_NAMES:
+        spec = TABLE_II[name]
+        m166, m500, m1k, _ = measured[name]
+        assert (m166, m500, m1k) == (
+            spec.act_166_plus,
+            spec.act_500_plus,
+            spec.act_1k_plus,
+        ), f"{name} hot-row bands diverge from Table II"

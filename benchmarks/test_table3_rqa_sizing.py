@@ -1,0 +1,29 @@
+"""Table III: quarantine-area size as the effective threshold varies."""
+
+from repro.core.sizing import table_iii
+
+from bench_common import emit, render_rows
+
+
+PAPER_ROWS = {1000: 15_302, 500: 23_053, 250: 30_872, 125: 37_176,
+              50: 42_367, 1: 46_620}
+
+
+def test_table3_rqa_sizing(benchmark):
+    table = benchmark.pedantic(table_iii, rounds=1, iterations=1)
+    rows = [
+        (
+            sizing.effective_threshold,
+            f"{sizing.rows:,} ({PAPER_ROWS[sizing.effective_threshold]:,})",
+            f"{sizing.size_mb:.0f} MB",
+            f"{sizing.dram_overhead * 100:.1f}%",
+        )
+        for sizing in table
+    ]
+    text = render_rows(
+        ("Threshold (A)", "R_max rows (paper)", "Size", "DRAM overhead"),
+        rows,
+    )
+    emit("table3_rqa_sizing", text)
+    for sizing in table:
+        assert sizing.rows == PAPER_ROWS[sizing.effective_threshold]

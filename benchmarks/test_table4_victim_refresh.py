@@ -1,0 +1,93 @@
+"""Table IV: AQUA vs victim-refresh, run as attack experiments.
+
+* Classic Rowhammer (single/double-sided): both schemes mitigate.
+* Complex patterns (Half-Double): victim refresh FAILS, AQUA holds.
+* Victim refresh needs the DRAM-internal mapping; AQUA does not.
+"""
+
+from repro.attacks import patterns
+from repro.attacks.adversary import AttackHarness
+from repro.core.aqua import AquaMitigation
+from repro.core.config import AquaConfig
+from repro.dram.geometry import DramGeometry
+from repro.mitigations.victim_refresh import VictimRefresh
+
+from bench_common import emit, render_rows
+
+
+GEOMETRY = DramGeometry(banks_per_rank=4, rows_per_bank=4096)
+TRH = 128
+
+
+def _aqua():
+    return AquaMitigation(
+        AquaConfig(
+            rowhammer_threshold=TRH,
+            geometry=GEOMETRY,
+            rqa_slots=512,
+            tracker_entries_per_bank=64,
+        )
+    )
+
+
+def _victim_refresh():
+    return VictimRefresh(
+        rowhammer_threshold=TRH,
+        geometry=GEOMETRY,
+        tracker_entries_per_bank=64,
+    )
+
+
+def _attack(scheme, kind):
+    harness = AttackHarness(scheme, rowhammer_threshold=TRH, geometry=GEOMETRY)
+    mapper = harness.mapper
+    if kind == "classic":
+        pattern = patterns.double_sided(mapper, 1, 100, pairs=1500)
+    else:
+        pattern = patterns.half_double(
+            mapper,
+            1,
+            100,
+            far_hammers=100 * (TRH // 2),
+            near_hammers_per_epoch=TRH // 2 - 1,
+        )
+    report = harness.run(pattern)
+    return not report.succeeded  # True = mitigated
+
+
+def test_table4_victim_refresh_comparison(benchmark):
+    def run():
+        return {
+            ("victim-refresh", "classic"): _attack(_victim_refresh(), "classic"),
+            ("victim-refresh", "half-double"): _attack(
+                _victim_refresh(), "half-double"
+            ),
+            ("aqua", "classic"): _attack(_aqua(), "classic"),
+            ("aqua", "half-double"): _attack(_aqua(), "half-double"),
+        }
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def mark(value):
+        return "mitigated" if value else "BIT FLIPS"
+
+    rows = [
+        (
+            "Mitigates classic Rowhammer",
+            mark(outcomes[("victim-refresh", "classic")]),
+            mark(outcomes[("aqua", "classic")]),
+        ),
+        (
+            "Mitigates Half-Double",
+            mark(outcomes[("victim-refresh", "half-double")]),
+            mark(outcomes[("aqua", "half-double")]),
+        ),
+        ("Needs DRAM-internal mapping", "yes", "no"),
+    ]
+    text = render_rows(("Attribute", "Victim-Refresh", "AQUA"), rows)
+    emit("table4_victim_refresh", text)
+
+    assert outcomes[("victim-refresh", "classic")]
+    assert not outcomes[("victim-refresh", "half-double")]  # the pitfall
+    assert outcomes[("aqua", "classic")]
+    assert outcomes[("aqua", "half-double")]

@@ -1,0 +1,40 @@
+"""Table V: Rowhammer threshold tolerated by CROW vs copy-row count."""
+
+import pytest
+
+from repro.mitigations.crow import CrowModel, crow_table_v
+
+from bench_common import emit, render_rows
+
+
+PAPER = {8: 340_000, 32: 85_000, 128: 21_300, 512: 5_300}
+
+
+def test_table5_crow(benchmark):
+    table = benchmark.pedantic(crow_table_v, rounds=1, iterations=1)
+    rows = [
+        (
+            sizing.copy_rows,
+            f"{sizing.dram_overhead * 100:.1f}%",
+            sizing.aggressors_tolerated,
+            f"{sizing.trh_tolerated:,.0f} (paper {PAPER[sizing.copy_rows]:,})",
+        )
+        for sizing in table
+    ]
+    text = render_rows(
+        ("Copy-Rows", "DRAM overhead", "Aggressors", "T_RH tolerated"),
+        rows,
+    )
+    model = CrowModel()
+    agg = CrowModel(aggressor_only=True)
+    text += (
+        f"\nSecurity at T_RH=1K requires {model.dram_overhead_at(1000)*100:.0f}% "
+        f"(CROW, paper 1060%) / {agg.dram_overhead_at(1000)*100:.0f}% "
+        "(CROW-Agg, paper 530%) extra DRAM\n"
+    )
+    emit("table5_crow", text)
+
+    for sizing in table:
+        assert sizing.trh_tolerated == pytest.approx(
+            PAPER[sizing.copy_rows], rel=0.05
+        )

@@ -1,0 +1,49 @@
+"""Table VII: total SRAM per rank including trackers."""
+
+import pytest
+
+from repro.analysis.storage import table_vii
+
+from bench_common import emit, render_rows
+
+
+PAPER_TOTALS_KB = {
+    "RRS-MG": 2870,
+    "AQUA-MG": 437,
+    "RRS-Hydra": 2502,
+    "AQUA-Hydra": 71,
+}
+
+
+def test_table7_sram(benchmark):
+    reports = benchmark.pedantic(
+        lambda: table_vii(1000), rounds=1, iterations=1
+    )
+    rows = []
+    for report in reports:
+        kb = report.as_kb()
+        rows.append(
+            (
+                report.name,
+                f"{kb['tracker_kb']:.1f} KB",
+                f"{kb['mapping_kb']:.1f} KB",
+                f"{kb['buffer_kb']:.0f} KB",
+                f"{kb['total_kb']:.0f} KB (paper {PAPER_TOTALS_KB[report.name]})",
+            )
+        )
+    text = render_rows(
+        ("Config", "Tracker", "Mapping", "Buffers", "Total"), rows
+    )
+    emit("table7_sram", text)
+
+    by_name = {r.name: r for r in reports}
+    for name, paper_kb in PAPER_TOTALS_KB.items():
+        assert by_name[name].total_bytes / 1024 == pytest.approx(
+            paper_kb, rel=0.1
+        )
+    # The headline: AQUA-Hydra needs ~35x less SRAM than RRS-Hydra.
+    assert (
+        by_name["RRS-Hydra"].total_bytes
+        / by_name["AQUA-Hydra"].total_bytes
+        > 20
+    )

@@ -1,0 +1,61 @@
+"""Design-space exploration: how AQUA scales as T_RH keeps dropping.
+
+Sweeps the Rowhammer threshold and reports, for each point:
+
+* the Equation-3 quarantine-area size (Table III),
+* the SRAM cost of SRAM-resident vs memory-mapped tables,
+* the measured slowdown on a heavy workload (lbm).
+
+This is the scalability story of the paper (Fig. 1c): where RRS's
+costs explode as thresholds fall, AQUA's grow gently.
+
+Usage: python examples/threshold_scaling.py
+"""
+
+from repro.analysis.storage import aqua_mapping_bytes, rrs_rit_bytes
+from repro.core.config import AquaConfig
+from repro.core.aqua import AquaMitigation
+from repro.core.sizing import RqaSizing
+from repro.mitigations.rrs import RandomizedRowSwap
+from repro.sim import SystemSimulator
+from repro.workloads import workload
+
+
+THRESHOLDS = (4000, 2000, 1000, 500)
+
+
+def main() -> None:
+    header = (
+        f"{'T_RH':>6} {'RQA rows':>9} {'DRAM':>6} "
+        f"{'AQUA SRAM':>10} {'RRS SRAM':>10} "
+        f"{'AQUA lbm':>9} {'RRS lbm':>9}"
+    )
+    print("AQUA vs RRS as the Rowhammer threshold scales down")
+    print(header)
+    print("-" * len(header))
+    for trh in THRESHOLDS:
+        sizing = RqaSizing.for_threshold(max(1, trh // 2))
+        aqua = AquaMitigation(
+            AquaConfig(rowhammer_threshold=trh, table_mode="memory-mapped")
+        )
+        aqua_result = SystemSimulator(aqua).run(workload("lbm"), epochs=2)
+        rrs_result = SystemSimulator(
+            RandomizedRowSwap(rowhammer_threshold=trh)
+        ).run(workload("lbm"), epochs=2)
+        aqua_kb = aqua_mapping_bytes(trh, "memory-mapped") / 1024
+        rrs_mb = rrs_rit_bytes(trh) / 1e6
+        print(
+            f"{trh:>6} {sizing.rows:>9,} {sizing.dram_overhead * 100:>5.1f}% "
+            f"{aqua_kb:>7.0f} KB {rrs_mb:>7.2f} MB "
+            f"{aqua_result.percent_slowdown:>8.2f}% "
+            f"{rrs_result.percent_slowdown:>8.2f}%"
+        )
+    print(
+        "\nAQUA's SRAM stays flat (bloom + cache) and its DRAM cost "
+        "stays ~1-2%,\nwhile RRS's indirection table and slowdown blow "
+        "up as T_RH falls."
+    )
+
+
+if __name__ == "__main__":
+    main()

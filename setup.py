@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The pyproject.toml carries all metadata; this file exists so that
+``python setup.py develop`` works on environments whose setuptools
+lacks PEP 660 editable-wheel support (no ``wheel`` package installed).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,69 @@
+"""repro: a full Python reproduction of AQUA (MICRO 2022).
+
+AQUA mitigates Rowhammer by *quarantining* aggressor rows: once a row's
+activation count crosses half the Rowhammer threshold, its contents are
+migrated into a dedicated Row Quarantine Area, breaking the spatial
+correlation between aggressor and victim rows that every refresh-based
+defense (and the Half-Double attack) depends on.
+
+Quick start::
+
+    from repro import AquaMitigation, AquaConfig
+    from repro.sim import SystemSimulator
+    from repro.workloads import workload
+
+    aqua = AquaMitigation(AquaConfig(rowhammer_threshold=1000))
+    result = SystemSimulator(aqua).run(workload("lbm"))
+    print(result.summary())
+
+Package layout:
+
+* :mod:`repro.core` -- AQUA itself: RQA, FPT/RPT, bloom filter,
+  FPT-Cache, sizing analysis.
+* :mod:`repro.dram` -- the DDR4 substrate (timing, banks, refresh,
+  power).
+* :mod:`repro.trackers` -- aggressor-row trackers (Misra-Gries, Hydra,
+  exact).
+* :mod:`repro.mitigations` -- baselines: RRS, Blockhammer, victim
+  refresh, CROW, none.
+* :mod:`repro.controller` -- the timed memory-controller request path.
+* :mod:`repro.attacks` -- attack patterns and the adversarial harness.
+* :mod:`repro.workloads` -- Table II-calibrated synthetic SPEC2017
+  workloads and mixes.
+* :mod:`repro.sim` -- the system simulator and experiment runner.
+* :mod:`repro.analysis` -- security oracles, storage/power models, and
+  the paper's analytical models.
+"""
+
+from repro.core.aqua import AquaMitigation
+from repro.core.config import AquaConfig
+from repro.core.quarantine import RqaExhaustedError
+from repro.core.sizing import rqa_rows, table_iii
+from repro.mitigations import (
+    Blockhammer,
+    CrowModel,
+    NoMitigation,
+    RandomizedRowSwap,
+    VictimRefresh,
+)
+from repro.sim import SystemSimulator
+from repro.workloads import workload, all_mixes
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AquaMitigation",
+    "AquaConfig",
+    "RqaExhaustedError",
+    "rqa_rows",
+    "table_iii",
+    "Blockhammer",
+    "CrowModel",
+    "NoMitigation",
+    "RandomizedRowSwap",
+    "VictimRefresh",
+    "SystemSimulator",
+    "workload",
+    "all_mixes",
+    "__version__",
+]

@@ -1,0 +1,61 @@
+"""Analysis tools: security oracles, storage/power models, paper math.
+
+* :mod:`repro.analysis.security` -- activation ledger and disturbance
+  oracle used to check the Rowhammer invariant under attack.
+* :mod:`repro.analysis.storage` -- SRAM/DRAM storage arithmetic
+  (Table VII and the per-structure sizes quoted through the paper).
+* :mod:`repro.analysis.migration_model` -- Appendix A's analytical
+  RRS-vs-AQUA migration ratio (Fig. 12).
+* :mod:`repro.analysis.thresholds` -- the Rowhammer threshold timeline
+  of Fig. 2.
+* :mod:`repro.analysis.power` -- SRAM/DRAM power accounting (Sec. V-H).
+"""
+
+from repro.analysis.security import (
+    ActivationLedger,
+    BitFlip,
+    DisturbanceOracle,
+)
+from repro.analysis.storage import (
+    StorageReport,
+    aqua_mapping_bytes,
+    hydra_tracker_bytes,
+    misra_gries_tracker_bytes,
+    rrs_rit_bytes,
+    table_vii,
+)
+from repro.analysis.migration_model import (
+    migration_ratio,
+    fig12_series,
+)
+from repro.analysis.thresholds import THRESHOLD_TIMELINE, threshold_trend
+from repro.analysis.power import AquaPowerReport, sram_static_mw
+from repro.analysis.rrs_security import (
+    expected_attack_years,
+    success_probability_per_window,
+    swaps_per_window,
+)
+from repro.analysis.report import build_report, write_report
+
+__all__ = [
+    "ActivationLedger",
+    "BitFlip",
+    "DisturbanceOracle",
+    "StorageReport",
+    "aqua_mapping_bytes",
+    "hydra_tracker_bytes",
+    "misra_gries_tracker_bytes",
+    "rrs_rit_bytes",
+    "table_vii",
+    "migration_ratio",
+    "fig12_series",
+    "THRESHOLD_TIMELINE",
+    "threshold_trend",
+    "AquaPowerReport",
+    "sram_static_mw",
+    "expected_attack_years",
+    "success_probability_per_window",
+    "swaps_per_window",
+    "build_report",
+    "write_report",
+]

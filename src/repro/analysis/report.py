@@ -1,0 +1,103 @@
+"""Consolidated experiment report builder.
+
+Collects the rendered tables the benchmark harness writes under
+``benchmarks/results/`` into one markdown document (one section per
+experiment, in the paper's order), so a full reproduction run leaves a
+single reviewable artifact::
+
+    pytest benchmarks/ --benchmark-only
+    python -c "from repro.analysis.report import write_report; write_report()"
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+
+#: Experiment id -> (results file stem, section heading), paper order.
+SECTIONS = [
+    ("fig02", "fig02_threshold_trend", "Figure 2 — Rowhammer threshold trend"),
+    ("fig03", "fig03_rrs_scaling", "Figure 3 — RRS slowdown vs threshold"),
+    ("table2", "table2_workload_characteristics",
+     "Table II — workload characteristics"),
+    ("table3", "table3_rqa_sizing", "Table III — RQA sizing"),
+    ("fig06", "fig06_migrations", "Figure 6 — row migrations per 64 ms"),
+    ("fig07", "fig07_performance", "Figure 7 — performance vs RRS"),
+    ("fig09", "fig09_memtable_performance",
+     "Figure 9 — SRAM vs memory-mapped tables"),
+    ("fig10", "fig10_fpt_breakdown", "Figure 10 — FPT lookup breakdown"),
+    ("fig11a", "fig11_threshold_sensitivity",
+     "Figure 11 — threshold sensitivity"),
+    ("fig11b", "fig11_structure_sensitivity",
+     "Sec. V-F — structure-size sensitivity"),
+    ("table4", "table4_victim_refresh", "Table IV — vs victim refresh"),
+    ("table5", "table5_crow", "Table V — CROW copy-row scaling"),
+    ("table6", "table6_comparison", "Table VI — scheme comparison"),
+    ("table7", "table7_sram", "Table VII — SRAM including trackers"),
+    ("fig12", "fig12_analytical_model", "Figure 12 — analytical model"),
+    ("dos", "dos_worst_case", "Sec. VI-C — worst-case slowdown"),
+    ("power", "power_analysis", "Sec. V-H — power analysis"),
+    ("appb", "appendix_b_hydra", "Appendix B — AQUA with the Hydra tracker"),
+    ("eq3", "rqa_sizing_validation", "Equation 3 — empirical validation"),
+    ("matrix", "defense_matrix", "Security cross product (extension)"),
+    ("abl1", "ablation_cat_vs_setassoc", "Ablation — CAT vs set-assoc FPT"),
+    ("abl2", "ablation_drain_policy", "Ablation — drain policy"),
+    ("abl3", "ablation_tracker_choice", "Ablation — tracker choice"),
+]
+
+
+def default_results_dir() -> str:
+    """`benchmarks/results/` relative to the repository root."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    return os.path.join(root, "benchmarks", "results")
+
+
+def collect(results_dir: Optional[str] = None) -> Dict[str, str]:
+    """Read available result tables; missing experiments are skipped."""
+    directory = results_dir or default_results_dir()
+    tables: Dict[str, str] = {}
+    for experiment_id, stem, _ in SECTIONS:
+        path = os.path.join(directory, f"{stem}.txt")
+        if os.path.exists(path):
+            with open(path) as handle:
+                tables[experiment_id] = handle.read()
+    return tables
+
+
+def build_report(results_dir: Optional[str] = None) -> str:
+    """Render the consolidated markdown report."""
+    tables = collect(results_dir)
+    lines: List[str] = [
+        "# AQUA reproduction — consolidated results",
+        "",
+        f"{len(tables)} of {len(SECTIONS)} experiments present "
+        "(run `pytest benchmarks/ --benchmark-only` to regenerate).",
+        "",
+    ]
+    for experiment_id, _, heading in SECTIONS:
+        if experiment_id not in tables:
+            continue
+        lines.append(f"## {heading}")
+        lines.append("")
+        lines.append("```")
+        lines.append(tables[experiment_id].rstrip("\n"))
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    path: Optional[str] = None, results_dir: Optional[str] = None
+) -> str:
+    """Write the report next to the results; return the path."""
+    if path is None:
+        path = os.path.join(
+            results_dir or default_results_dir(), "REPORT.md"
+        )
+    content = build_report(results_dir)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as handle:
+        handle.write(content)
+    return path

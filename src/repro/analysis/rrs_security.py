@@ -1,0 +1,122 @@
+"""RRS's probabilistic security: the birthday-paradox analysis (Sec. II-F).
+
+RRS hides an attacked row at a uniformly random location among ``N``
+rows.  Because a row relocates every ``T_RH / 6`` activations, flipping
+a bit requires the attacker to get lucky *repeatedly within one refresh
+window*: the hammered physical neighbourhood must receive several
+consecutive swap placements so that some row still accumulates ``T_RH``
+activations.  The defence is therefore probabilistic, and the AQUA
+paper notes an attacker succeeds on average within ~4 years -- scaled
+down linearly when targeting N machines.
+
+The model here is a deliberately simple geometric abstraction of that
+analysis (the full derivation is in the RRS paper): the attacker
+monitors ``monitored_rows`` physical locations and wins a window if
+``collisions_required`` forced swaps in that window all land inside
+the monitored set.  The defaults are calibrated so the baseline
+configuration (16 GB, ``T_RH = 1K``) reproduces the paper's
+order-of-years figure.
+
+AQUA's point of contrast: its security is *deterministic* (an invariant
+over activation counts), so these functions have no AQUA counterpart.
+"""
+
+from __future__ import annotations
+
+from repro.dram.geometry import DramGeometry, DEFAULT_GEOMETRY
+from repro.dram.timing import DDR4Timing, DDR4_2400
+
+
+#: Consecutive same-neighbourhood placements needed within one window
+#: for a monitored physical row to accumulate T_RH activations.
+DEFAULT_COLLISIONS_REQUIRED = 3
+
+#: Physical locations the attacker hammers/monitors concurrently.
+DEFAULT_MONITORED_ROWS = 32
+
+
+def swaps_per_window(
+    rowhammer_threshold: int,
+    banks: int = 16,
+    timing: DDR4Timing = DDR4_2400,
+) -> float:
+    """Maximum row swaps an attacker can force per refresh window."""
+    swap_threshold = max(1, rowhammer_threshold // 6)
+    return banks * timing.act_max / swap_threshold
+
+
+def success_probability_per_window(
+    rowhammer_threshold: int,
+    geometry: DramGeometry = DEFAULT_GEOMETRY,
+    timing: DDR4Timing = DDR4_2400,
+    collisions_required: int = DEFAULT_COLLISIONS_REQUIRED,
+    monitored_rows: int = DEFAULT_MONITORED_ROWS,
+) -> float:
+    """Probability the attacker wins within one refresh window.
+
+    ``swaps`` independent attempts, each needing ``collisions_required``
+    uniform placements to land in the monitored set.
+    """
+    if collisions_required < 1 or monitored_rows < 1:
+        raise ValueError("model parameters must be >= 1")
+    n = geometry.rows_per_rank
+    swaps = swaps_per_window(
+        rowhammer_threshold, geometry.banks_per_rank, timing
+    )
+    per_attempt = (monitored_rows / n) ** collisions_required
+    return min(1.0, swaps * per_attempt)
+
+
+def expected_attack_seconds(
+    rowhammer_threshold: int,
+    machines: int = 1,
+    geometry: DramGeometry = DEFAULT_GEOMETRY,
+    timing: DDR4Timing = DDR4_2400,
+    collisions_required: int = DEFAULT_COLLISIONS_REQUIRED,
+    monitored_rows: int = DEFAULT_MONITORED_ROWS,
+) -> float:
+    """Expected time for a birthday-paradox attack to succeed.
+
+    Geometric waiting time over refresh windows; targeting ``machines``
+    systems divides the expectation (the paper's observation that the
+    4-year figure shrinks linearly with N machines).
+    """
+    if machines < 1:
+        raise ValueError("machines must be >= 1")
+    p = success_probability_per_window(
+        rowhammer_threshold,
+        geometry,
+        timing,
+        collisions_required,
+        monitored_rows,
+    )
+    if p <= 0:
+        return float("inf")
+    windows = 1.0 / p
+    seconds = windows * timing.trefw_ns * 1e-9
+    return seconds / machines
+
+
+SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+
+
+def expected_attack_years(
+    rowhammer_threshold: int,
+    machines: int = 1,
+    geometry: DramGeometry = DEFAULT_GEOMETRY,
+    timing: DDR4Timing = DDR4_2400,
+    collisions_required: int = DEFAULT_COLLISIONS_REQUIRED,
+    monitored_rows: int = DEFAULT_MONITORED_ROWS,
+) -> float:
+    """Expected attack time in years (~4 years at the baseline point)."""
+    return (
+        expected_attack_seconds(
+            rowhammer_threshold,
+            machines,
+            geometry,
+            timing,
+            collisions_required,
+            monitored_rows,
+        )
+        / SECONDS_PER_YEAR
+    )

@@ -1,0 +1,152 @@
+"""Security oracles: the ground truth the mitigation schemes are judged by.
+
+Two complementary models:
+
+* :class:`ActivationLedger` -- counts activations per *physical* row in
+  a sliding ``tREFW`` window.  AQUA's security invariant (Sec. VI-A) is
+  exactly "no physical row receives ``T_RH`` activations in any 64 ms
+  window"; the ledger verifies it directly.
+
+* :class:`DisturbanceOracle` -- models the charge-disturbance physics:
+  every activation or refresh of a row disturbs its distance-1
+  neighbours, and a row's own activation/refresh restores its charge.
+  A row accumulating more than ``T_RH`` disturbances flips.  Because
+  *refreshes count as activations for the neighbours' purposes*, this
+  oracle naturally reproduces the Half-Double attack: victim refreshes
+  issued as mitigation hammer the rows one step further out.
+
+The ledger is the paper's stated invariant; the oracle is the physics
+that justifies it (a scheme that bounds per-row activations bounds every
+row's disturbance to at most two neighbours' worth).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.dram.timing import DDR4_2400
+
+
+@dataclass(frozen=True)
+class BitFlip:
+    """A Rowhammer bit flip predicted by the disturbance oracle."""
+
+    row: int
+    time_ns: float
+    disturbance: int
+
+
+class ActivationLedger:
+    """Sliding-window activation counts per physical row.
+
+    ``record`` must be called with non-decreasing timestamps.  Intended
+    for attack-scale experiments (it keeps a timestamp deque per touched
+    row); performance sweeps leave it disabled.
+    """
+
+    def __init__(self, window_ns: float = None) -> None:
+        self.window_ns = window_ns if window_ns is not None else DDR4_2400.trefw_ns
+        self._events: Dict[int, deque] = defaultdict(deque)
+        self._peak: Dict[int, int] = defaultdict(int)
+
+    def record(self, row: int, now_ns: float) -> int:
+        """Record one activation; return the row's current window count."""
+        events = self._events[row]
+        events.append(now_ns)
+        cutoff = now_ns - self.window_ns
+        while events and events[0] <= cutoff:
+            events.popleft()
+        count = len(events)
+        if count > self._peak[row]:
+            self._peak[row] = count
+        return count
+
+    def window_count(self, row: int, now_ns: float) -> int:
+        """Activations of ``row`` within the window ending at ``now_ns``."""
+        cutoff = now_ns - self.window_ns
+        return sum(1 for t in self._events.get(row, ()) if t > cutoff)
+
+    def peak(self, row: int) -> int:
+        """Highest window count ever observed for ``row``."""
+        return self._peak.get(row, 0)
+
+    def max_peak(self) -> int:
+        """Highest window count across all rows."""
+        return max(self._peak.values(), default=0)
+
+    def worst_row(self) -> Optional[int]:
+        """Row with the highest peak window count."""
+        if not self._peak:
+            return None
+        return max(self._peak, key=self._peak.get)
+
+    def violations(self, rowhammer_threshold: int) -> List[int]:
+        """Rows whose peak window count reached ``rowhammer_threshold``."""
+        return [
+            row
+            for row, peak in self._peak.items()
+            if peak >= rowhammer_threshold
+        ]
+
+
+class DisturbanceOracle:
+    """Charge-disturbance model over physical rows.
+
+    Parameters
+    ----------
+    neighbors:
+        Function mapping a physical row to its distance-1 neighbours
+        (same bank).  Typically ``AddressMapper.neighbors``.
+    rowhammer_threshold:
+        Disturbance count at which a row flips.
+    """
+
+    def __init__(
+        self,
+        neighbors: Callable[[int], list],
+        rowhammer_threshold: int,
+    ) -> None:
+        if rowhammer_threshold < 1:
+            raise ValueError("rowhammer_threshold must be >= 1")
+        self.neighbors = neighbors
+        self.rowhammer_threshold = rowhammer_threshold
+        self._disturbance: Dict[int, int] = defaultdict(int)
+        self._flipped: set = set()
+        self.flips: List[BitFlip] = []
+
+    def _disturb_neighbors(self, row: int, now_ns: float) -> None:
+        for neighbor in self.neighbors(row):
+            count = self._disturbance[neighbor] + 1
+            self._disturbance[neighbor] = count
+            if count > self.rowhammer_threshold and neighbor not in self._flipped:
+                self._flipped.add(neighbor)
+                self.flips.append(BitFlip(neighbor, now_ns, count))
+
+    def record_activation(self, row: int, now_ns: float) -> None:
+        """An activation restores ``row`` and disturbs its neighbours."""
+        self._disturbance[row] = 0
+        self._disturb_neighbors(row, now_ns)
+
+    def record_refresh(self, row: int, now_ns: float) -> None:
+        """A (victim) refresh restores ``row`` -- but, being a row
+        activation internally, it disturbs ``row``'s own neighbours.
+
+        This is the coupling the Half-Double attack exploits.
+        """
+        self._disturbance[row] = 0
+        self._disturb_neighbors(row, now_ns)
+
+    def end_epoch(self) -> None:
+        """Periodic auto-refresh restores every row (64 ms boundary)."""
+        self._disturbance.clear()
+
+    def disturbance(self, row: int) -> int:
+        """Current accumulated disturbance of ``row``."""
+        return self._disturbance.get(row, 0)
+
+    @property
+    def flipped_rows(self) -> set:
+        """Rows the oracle has declared flipped."""
+        return set(self._flipped)

@@ -1,0 +1,161 @@
+"""Storage-overhead arithmetic: per-structure SRAM/DRAM sizes (Table VII).
+
+The models here are parametric in the Rowhammer threshold so that the
+scaling arguments of the paper (Fig. 1b, Sec. II-F) can be regenerated,
+and are calibrated to reproduce the point values the paper quotes at
+``T_RH = 1K``:
+
+===========================  ==========  =============================
+Structure                    Paper       Model
+===========================  ==========  =============================
+Misra-Gries tracker           396 KB     per-bank ACTmax/T entries
+Hydra tracker                 ~28-30 KB  GCT + RCC
+RRS RIT                       2.4 MB     CAT with 2 entries per swap
+AQUA FPT+RPT (SRAM mode)      172 KB     CAT FPT 108 KB + RPT 64 KB
+AQUA tables (memory-mapped)   32.6 KB    bloom 16 KB + cache 16 KB
+===========================  ==========  =============================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.fpt import DEFAULT_FPT_CAPACITY, ForwardPointerTable
+from repro.core.rpt import ReversePointerTable
+from repro.core.sizing import rqa_rows
+from repro.dram.geometry import DramGeometry, DEFAULT_GEOMETRY
+from repro.dram.timing import DDR4Timing, DDR4_2400
+
+KB = 1024
+
+
+def misra_gries_tracker_bytes(
+    effective_threshold: int,
+    geometry: DramGeometry = DEFAULT_GEOMETRY,
+    timing: DDR4Timing = DDR4_2400,
+) -> int:
+    """SRAM of the per-bank Misra-Gries ART.
+
+    Per bank, ``ACTmax / T`` entries.  Entry size is calibrated to the
+    paper's 396 KB per rank at ``T = 500``: each entry holds the row
+    address within the bank (17 bits), an activation counter wide enough
+    for ACTmax (21 bits), and CAM/valid overhead -- ~74 bits total, the
+    fully-associative CAM costing roughly double a plain SRAM entry.
+    """
+    entries_per_bank = max(1, timing.act_max // effective_threshold)
+    entry_bits = 74
+    return math.ceil(
+        geometry.banks_per_rank * entries_per_bank * entry_bits / 8
+    )
+
+
+def hydra_tracker_bytes(
+    gct_entries: int = 8 * 1024, rcc_entries: int = 4 * 1024
+) -> int:
+    """SRAM of the Hydra tracker: group counters plus row-count cache.
+
+    ~28-30 KB per rank, matching Appendix B.
+    """
+    gct_bytes = gct_entries * 2  # 16-bit group counters
+    rcc_bytes = rcc_entries * 4  # tag + count per cached row counter
+    return gct_bytes + rcc_bytes + 1 * KB  # control/overflow metadata
+
+
+def rrs_rit_bytes(
+    rowhammer_threshold: int,
+    geometry: DramGeometry = DEFAULT_GEOMETRY,
+    timing: DDR4Timing = DDR4_2400,
+    overprovision: float = 1.5,
+    entry_bytes: int = 6,
+) -> int:
+    """SRAM of RRS's Row Indirection Table.
+
+    RRS swaps at ``T_RH / 6``; each swap relocates two rows, and both
+    need RIT entries for the rest of the window.  The CAT over-provision
+    factor and entry size reproduce the paper's 2.4 MB at 1 K and
+    0.65 MB at 4 K.
+    """
+    swap_threshold = max(1, rowhammer_threshold // 6)
+    max_swaps = geometry.banks_per_rank * timing.act_max // swap_threshold
+    valid_entries = 2 * max_swaps
+    return math.ceil(valid_entries * overprovision * entry_bytes)
+
+
+def aqua_mapping_bytes(
+    rowhammer_threshold: int,
+    table_mode: str = "memory-mapped",
+    geometry: DramGeometry = DEFAULT_GEOMETRY,
+    timing: DDR4Timing = DDR4_2400,
+    bloom_bytes: int = 16 * KB,
+    fpt_cache_bytes: int = 16 * KB,
+) -> int:
+    """SRAM of AQUA's mapping structures (excluding the copy-buffer).
+
+    SRAM mode: CAT FPT (108 KB) + RPT (~64 KB) = 172 KB at 1 K.
+    Memory-mapped mode: bloom filter + FPT-Cache + pinned entries for
+    the table rows = ~32.6 KB, independent of the threshold.
+    """
+    if table_mode == "memory-mapped":
+        pinned = 512 + 32  # FPT/RPT-row entries pinned in SRAM (Sec. VI-B)
+        return bloom_bytes + fpt_cache_bytes + pinned
+    slots = rqa_rows(
+        max(1, rowhammer_threshold // 2),
+        banks=geometry.banks_per_rank,
+        timing=timing,
+        row_bytes=geometry.row_bytes,
+    )
+    fpt = ForwardPointerTable.sram_bytes(DEFAULT_FPT_CAPACITY)
+    rpt = ReversePointerTable.sram_bytes(slots, geometry.row_pointer_bits)
+    return fpt + rpt
+
+
+@dataclass(frozen=True)
+class StorageReport:
+    """One column of Table VII: a scheme+tracker storage breakdown."""
+
+    name: str
+    tracker_bytes: int
+    mapping_bytes: int
+    buffer_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.tracker_bytes + self.mapping_bytes + self.buffer_bytes
+
+    def as_kb(self) -> dict:
+        """Human-readable breakdown in KB."""
+        return {
+            "tracker_kb": self.tracker_bytes / KB,
+            "mapping_kb": self.mapping_bytes / KB,
+            "buffer_kb": self.buffer_bytes / KB,
+            "total_kb": self.total_bytes / KB,
+        }
+
+
+def table_vii(
+    rowhammer_threshold: int = 1000,
+    geometry: DramGeometry = DEFAULT_GEOMETRY,
+    timing: DDR4Timing = DDR4_2400,
+) -> List[StorageReport]:
+    """Regenerate Table VII: RRS/AQUA with Misra-Gries/Hydra trackers.
+
+    Buffer sizes: RRS needs two row buffers to swap (16 KB); AQUA one
+    copy-buffer (8 KB).
+    """
+    row_kb = geometry.row_bytes
+    mg = misra_gries_tracker_bytes(
+        max(1, rowhammer_threshold // 2), geometry, timing
+    )
+    hydra = hydra_tracker_bytes()
+    rit = rrs_rit_bytes(rowhammer_threshold, geometry, timing)
+    aqua_map = aqua_mapping_bytes(
+        rowhammer_threshold, "memory-mapped", geometry, timing
+    )
+    return [
+        StorageReport("RRS-MG", mg, rit, 2 * row_kb),
+        StorageReport("AQUA-MG", mg, aqua_map, row_kb),
+        StorageReport("RRS-Hydra", hydra, rit, 2 * row_kb),
+        StorageReport("AQUA-Hydra", hydra, aqua_map, row_kb),
+    ]

@@ -1,0 +1,49 @@
+"""Rowhammer threshold timeline (Fig. 2).
+
+Literature data points for the minimum activation count needed to
+induce a bit flip, per DRAM generation, as characterised by Kim et al.
+(ISCA 2014) and revisited by Kim et al. (ISCA 2020).  The paper's
+motivating observation: a ~30x decline from 139K (DDR3, 2014) to 4.8K
+(LPDDR4, 2020), with further decline expected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class ThresholdPoint:
+    """One characterised DRAM generation."""
+
+    year: int
+    technology: str
+    rowhammer_threshold: int
+    source: str
+
+
+THRESHOLD_TIMELINE: List[ThresholdPoint] = [
+    ThresholdPoint(2014, "DDR3 (old)", 139_000, "Kim et al., ISCA 2014"),
+    ThresholdPoint(2018, "DDR3 (new)", 22_400, "Kim et al., ISCA 2020"),
+    ThresholdPoint(2019, "DDR4 (old)", 17_500, "Kim et al., ISCA 2020"),
+    ThresholdPoint(2020, "DDR4 (new)", 10_000, "Kim et al., ISCA 2020"),
+    ThresholdPoint(2020, "LPDDR4 (new)", 4_800, "Kim et al., ISCA 2020"),
+]
+"""Fig. 2's series: threshold by DRAM generation."""
+
+
+def threshold_trend() -> dict:
+    """Summary statistics of the decline the paper motivates with.
+
+    Returns the first/last points and the overall reduction factor
+    (~29x between 2014 and 2020).
+    """
+    first = THRESHOLD_TIMELINE[0]
+    last = THRESHOLD_TIMELINE[-1]
+    return {
+        "first": first,
+        "last": last,
+        "reduction_factor": first.rowhammer_threshold / last.rowhammer_threshold,
+        "span_years": last.year - first.year,
+    }

@@ -1,0 +1,32 @@
+"""Rowhammer attack patterns and the adversarial harness.
+
+Pattern generators produce logical-row activation sequences for the
+attack classes the paper's threat model covers (Sec. II-A, VI):
+single-sided, double-sided, many-sided, Half-Double, tracker-reset
+straddling, and the denial-of-service pattern of Sec. VI-C.
+"""
+
+from repro.attacks.patterns import (
+    bank_conflict_pattern,
+    blacksmith,
+    double_sided,
+    dos_pattern,
+    half_double,
+    many_sided,
+    reset_straddling,
+    single_sided,
+)
+from repro.attacks.adversary import AttackHarness, AttackReport
+
+__all__ = [
+    "blacksmith",
+    "single_sided",
+    "double_sided",
+    "many_sided",
+    "half_double",
+    "dos_pattern",
+    "bank_conflict_pattern",
+    "reset_straddling",
+    "AttackHarness",
+    "AttackReport",
+]

@@ -1,0 +1,109 @@
+"""Attack harness: run a pattern against a scheme and judge the outcome.
+
+The harness wires a mitigation scheme into a timed
+:class:`~repro.controller.memctrl.MemoryController` with both security
+oracles attached, replays an attack pattern at hammering cadence, and
+reports:
+
+* predicted **bit flips** (disturbance oracle),
+* the **peak per-physical-row activation count** in any 64 ms window
+  (the invariant AQUA guarantees stays below ``T_RH``),
+* the attack's **elapsed time** vs its unimpeded time (the slowdown a
+  throttling scheme like Blockhammer imposes, and the DoS headroom of
+  Sec. VI-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.analysis.security import ActivationLedger, BitFlip, DisturbanceOracle
+from repro.controller.memctrl import MemoryController
+from repro.dram.address import AddressMapper
+from repro.dram.geometry import DramGeometry, DEFAULT_GEOMETRY
+from repro.dram.timing import DDR4Timing, DDR4_2400
+from repro.mitigations.base import MitigationScheme
+
+
+@dataclass
+class AttackReport:
+    """Outcome of one attack run."""
+
+    scheme: str
+    activations: int
+    elapsed_ns: float
+    unimpeded_ns: float
+    flips: List[BitFlip]
+    peak_row_activations: int
+    migrations: int
+
+    @property
+    def succeeded(self) -> bool:
+        """True if the oracle predicts at least one bit flip."""
+        return bool(self.flips)
+
+    @property
+    def slowdown(self) -> float:
+        """How much the mitigation slowed the attacker's loop."""
+        if self.unimpeded_ns <= 0:
+            return 1.0
+        return self.elapsed_ns / self.unimpeded_ns
+
+
+class AttackHarness:
+    """Replay attack patterns through a scheme with full instrumentation."""
+
+    def __init__(
+        self,
+        scheme: MitigationScheme,
+        rowhammer_threshold: int,
+        geometry: DramGeometry = DEFAULT_GEOMETRY,
+        timing: DDR4Timing = DDR4_2400,
+        mapping_policy: str = "interleaved",
+    ) -> None:
+        self.scheme = scheme
+        self.rowhammer_threshold = rowhammer_threshold
+        self.geometry = geometry
+        self.timing = timing
+        self.mapper = AddressMapper(geometry, policy=mapping_policy)
+        self.ledger = ActivationLedger(window_ns=timing.trefw_ns)
+        self.oracle = DisturbanceOracle(
+            neighbors=self.mapper.neighbors,
+            rowhammer_threshold=rowhammer_threshold,
+        )
+        self.controller = MemoryController(
+            scheme,
+            geometry=geometry,
+            timing=timing,
+            ledger=self.ledger,
+            oracle=self.oracle,
+        )
+
+    def run(
+        self,
+        pattern: Sequence[int],
+        start_ns: float = 0.0,
+        spacing_ns: float = None,
+    ) -> AttackReport:
+        """Replay ``pattern`` at hammering cadence and report the outcome."""
+        if spacing_ns is None:
+            spacing_ns = self.timing.trc_ns
+        finish = self.controller.hammer(
+            pattern, start_ns=start_ns, spacing_ns=spacing_ns
+        )
+        unimpeded = len(pattern) * spacing_ns
+        return AttackReport(
+            scheme=self.scheme.name,
+            activations=len(pattern),
+            elapsed_ns=finish - start_ns,
+            unimpeded_ns=unimpeded,
+            flips=list(self.oracle.flips),
+            peak_row_activations=self.ledger.max_peak(),
+            migrations=self.scheme.stats.migrations,
+        )
+
+    def invariant_holds(self) -> bool:
+        """AQUA's security invariant: no physical row reached ``T_RH``
+        activations within any refresh window."""
+        return self.ledger.max_peak() < self.rowhammer_threshold

@@ -1,0 +1,198 @@
+"""Attack pattern generators.
+
+Each generator returns a list of *logical* row ids, in activation order.
+Rows are chosen through an :class:`~repro.dram.address.AddressMapper` so
+that "adjacent" means physically adjacent within a bank -- the adjacency
+the Rowhammer physics (and the disturbance oracle) operate on.
+
+All patterns take a ``base`` (bank, bank_row) anchor so tests can place
+attacks anywhere in memory.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.dram.address import AddressMapper
+
+
+def _row(mapper: AddressMapper, bank: int, bank_row: int) -> int:
+    return mapper.encode(bank, bank_row)
+
+
+def single_sided(
+    mapper: AddressMapper, bank: int, bank_row: int, count: int
+) -> List[int]:
+    """Hammer one aggressor row ``count`` times."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return [_row(mapper, bank, bank_row)] * count
+
+
+def double_sided(
+    mapper: AddressMapper, bank: int, victim_bank_row: int, pairs: int
+) -> List[int]:
+    """Alternate the two rows sandwiching a victim, ``pairs`` rounds."""
+    if victim_bank_row < 1:
+        raise ValueError("victim needs a row on each side")
+    above = _row(mapper, bank, victim_bank_row - 1)
+    below = _row(mapper, bank, victim_bank_row + 1)
+    pattern: List[int] = []
+    for _ in range(pairs):
+        pattern.append(above)
+        pattern.append(below)
+    return pattern
+
+
+def many_sided(
+    mapper: AddressMapper,
+    bank: int,
+    first_bank_row: int,
+    aggressors: int,
+    rounds: int,
+    stride: int = 2,
+) -> List[int]:
+    """TRRespass-style many-sided pattern: ``aggressors`` rows, round-robin.
+
+    ``stride=2`` places aggressors on alternating rows so every gap row
+    is a double-sided victim.
+    """
+    if aggressors < 1:
+        raise ValueError("need at least one aggressor")
+    rows = [
+        _row(mapper, bank, first_bank_row + i * stride)
+        for i in range(aggressors)
+    ]
+    pattern: List[int] = []
+    for _ in range(rounds):
+        pattern.extend(rows)
+    return pattern
+
+
+def half_double(
+    mapper: AddressMapper,
+    bank: int,
+    far_aggressor_bank_row: int,
+    far_hammers: int,
+    near_hammers_per_epoch: int,
+    epochs: int = 1,
+) -> List[int]:
+    """Half-Double (Sec. I, Fig. 1a): exploit victim refreshes at distance 2.
+
+    The *far* aggressor ``A`` is hammered heavily; each victim-refresh
+    mitigation it provokes refreshes (= activates) the *near* row
+    ``A+1``, which hammers the true victim ``A+2``.  The attacker also
+    hammers ``A+1`` directly, keeping it just below the mitigation
+    trigger so those activations are never themselves mitigated.
+
+    The returned pattern interleaves ``far_hammers`` activations of A
+    with ``near_hammers_per_epoch`` activations of A+1 per epoch.
+    """
+    if far_hammers < 1 or near_hammers_per_epoch < 0:
+        raise ValueError("hammer counts must be positive")
+    far = _row(mapper, bank, far_aggressor_bank_row)
+    near = _row(mapper, bank, far_aggressor_bank_row + 1)
+    pattern: List[int] = []
+    for _ in range(epochs):
+        near_budget = near_hammers_per_epoch
+        interval = max(1, far_hammers // max(1, near_hammers_per_epoch))
+        for i in range(far_hammers):
+            pattern.append(far)
+            if near_budget > 0 and i % interval == interval - 1:
+                pattern.append(near)
+                near_budget -= 1
+    return pattern
+
+
+def reset_straddling(
+    mapper: AddressMapper,
+    bank: int,
+    bank_row: int,
+    per_side: int,
+) -> List[int]:
+    """Hammer ``per_side`` times just before and after a tracker reset.
+
+    The pattern itself is a plain single-sided burst of ``2*per_side``
+    activations; the harness times it to straddle an epoch boundary.
+    This is the attack that forces the effective threshold to
+    ``T_RH / 2`` (Sec. IV-B).
+    """
+    return single_sided(mapper, bank, bank_row, 2 * per_side)
+
+
+def dos_pattern(
+    mapper: AddressMapper,
+    threshold: int,
+    rows_per_bank_used: int,
+    banks: int = None,
+    first_bank_row: int = 0,
+) -> List[int]:
+    """Worst-case migration-rate pattern (Sec. VI-C).
+
+    Hammer a fresh row in every bank to exactly the trigger threshold,
+    then move on, forcing one migration per ``threshold`` activations
+    per bank.  Rows rotate so each trigger quarantines a new row.
+    """
+    if banks is None:
+        banks = mapper.geometry.banks_per_rank
+    pattern: List[int] = []
+    for index in range(rows_per_bank_used):
+        bank_row = first_bank_row + index
+        # Interleave the banks activation-by-activation: the attacker
+        # drives all banks concurrently.
+        rows = [_row(mapper, bank, bank_row) for bank in range(banks)]
+        for _ in range(threshold):
+            pattern.extend(rows)
+    return pattern
+
+
+def blacksmith(
+    mapper: AddressMapper,
+    bank: int,
+    first_bank_row: int,
+    aggressors: int,
+    total_activations: int,
+    seed: int = 0xB5,
+) -> List[int]:
+    """Blacksmith-style non-uniform pattern (Jattke et al., S&P 2022).
+
+    Aggressors are hammered at *different* frequencies, phases, and
+    amplitudes, which defeats in-DRAM samplers tuned to uniform
+    many-sided patterns.  Each aggressor ``i`` is assigned a random
+    period and burst length; the pattern interleaves the resulting
+    schedules.
+    """
+    if aggressors < 1 or total_activations < 1:
+        raise ValueError("aggressors and total_activations must be >= 1")
+    rng = random.Random(seed)
+    rows = [
+        _row(mapper, bank, first_bank_row + 2 * i) for i in range(aggressors)
+    ]
+    periods = [rng.randint(1, 4) for _ in rows]
+    bursts = [rng.randint(1, 3) for _ in rows]
+    pattern: List[int] = []
+    tick = 0
+    while len(pattern) < total_activations:
+        for index, row in enumerate(rows):
+            if tick % periods[index] == 0:
+                pattern.extend([row] * bursts[index])
+        tick += 1
+    return pattern[:total_activations]
+
+
+def bank_conflict_pattern(
+    mapper: AddressMapper, bank: int, bank_row: int, rounds: int
+) -> List[int]:
+    """Two conflicting rows in one bank, alternating (Sec. VII-B).
+
+    The benign-but-pathological pattern that exposes Blockhammer's
+    worst-case 1280x throttling at low thresholds.
+    """
+    row_a = _row(mapper, bank, bank_row)
+    row_b = _row(mapper, bank, bank_row + 64)
+    pattern: List[int] = []
+    for _ in range(rounds):
+        pattern.append(row_a)
+        pattern.append(row_b)
+    return pattern

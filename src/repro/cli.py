@@ -1,0 +1,179 @@
+"""Command-line interface: quick experiments without writing code.
+
+Subcommands::
+
+    python -m repro sizing  --trh 1000            # Table III-style sizing
+    python -m repro storage --trh 1000            # Table VII-style SRAM
+    python -m repro sweep   --scheme aqua-mm --workloads lbm gcc
+    python -m repro attack  --scheme aqua --pattern half-double
+
+Each prints a compact report to stdout; exit code 0 on success.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.analysis.storage import table_vii
+from repro.attacks import patterns
+from repro.attacks.adversary import AttackHarness
+from repro.core.aqua import AquaMitigation
+from repro.core.config import AquaConfig
+from repro.core.sizing import RqaSizing
+from repro.dram.geometry import DramGeometry
+from repro.mitigations.victim_refresh import VictimRefresh
+from repro.sim import runner
+from repro.sim.system import SystemSimulator
+from repro.workloads.spec import workload
+from repro.workloads.table2 import SPEC_NAMES
+
+
+SCHEME_FACTORIES = {
+    "aqua-sram": runner.aqua_sram,
+    "aqua-mm": runner.aqua_memory_mapped,
+    "rrs": runner.rrs,
+    "blockhammer": runner.blockhammer,
+    "victim-refresh": runner.victim_refresh,
+}
+
+ATTACK_GEOMETRY = DramGeometry(banks_per_rank=4, rows_per_bank=4096)
+ATTACK_TRH = 128
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AQUA (MICRO 2022) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sizing = sub.add_parser("sizing", help="RQA sizing per Equation 3")
+    sizing.add_argument("--trh", type=int, default=1000,
+                        help="Rowhammer threshold (default 1000)")
+
+    storage = sub.add_parser("storage", help="SRAM budget per Table VII")
+    storage.add_argument("--trh", type=int, default=1000)
+
+    sweep = sub.add_parser("sweep", help="simulate workloads under a scheme")
+    sweep.add_argument("--scheme", choices=sorted(SCHEME_FACTORIES),
+                       default="aqua-mm")
+    sweep.add_argument("--trh", type=int, default=1000)
+    sweep.add_argument("--epochs", type=int, default=2)
+    sweep.add_argument("--workloads", nargs="*", default=["lbm", "gcc", "xz"],
+                       metavar="NAME", help=f"choose from {SPEC_NAMES}")
+
+    attack = sub.add_parser("attack", help="run an attack experiment")
+    attack.add_argument("--scheme", choices=["aqua", "victim-refresh"],
+                        default="aqua")
+    attack.add_argument(
+        "--pattern",
+        choices=["single", "double", "many", "half-double"],
+        default="half-double",
+    )
+    return parser
+
+
+def _cmd_sizing(args) -> int:
+    effective = max(1, args.trh // 2)
+    sizing = RqaSizing.for_threshold(effective)
+    config = AquaConfig(rowhammer_threshold=args.trh,
+                        table_mode="memory-mapped")
+    print(f"T_RH = {args.trh} (effective migration threshold {effective})")
+    print(f"  RQA rows (Eq. 3):    {sizing.rows:,}")
+    print(f"  RQA size:            {sizing.size_mb:.0f} MB")
+    print(f"  total DRAM overhead: {config.dram_overhead * 100:.2f}% "
+          "(RQA + memory-mapped tables)")
+    return 0
+
+
+def _cmd_storage(args) -> int:
+    print(f"SRAM per rank at T_RH = {args.trh} (Table VII):")
+    for report in table_vii(args.trh):
+        kb = report.as_kb()
+        print(f"  {report.name:>10}: tracker {kb['tracker_kb']:7.1f} KB, "
+              f"mapping {kb['mapping_kb']:7.1f} KB, "
+              f"buffers {kb['buffer_kb']:3.0f} KB  "
+              f"=> total {kb['total_kb']:7.0f} KB")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    unknown = [n for n in args.workloads if n not in SPEC_NAMES]
+    if unknown:
+        print(f"error: unknown workloads {unknown}; choose from {SPEC_NAMES}")
+        return 2
+    factory = SCHEME_FACTORIES[args.scheme](args.trh)
+    print(f"{args.scheme} @ T_RH={args.trh}, {args.epochs} epoch(s):")
+    for name in args.workloads:
+        result = SystemSimulator(factory()).run(
+            workload(name), epochs=args.epochs
+        )
+        print(f"  {result.summary()}")
+    return 0
+
+
+def _cmd_attack(args) -> int:
+    if args.scheme == "aqua":
+        scheme = AquaMitigation(
+            AquaConfig(
+                rowhammer_threshold=ATTACK_TRH,
+                geometry=ATTACK_GEOMETRY,
+                rqa_slots=512,
+                tracker_entries_per_bank=64,
+            )
+        )
+    else:
+        scheme = VictimRefresh(
+            rowhammer_threshold=ATTACK_TRH,
+            geometry=ATTACK_GEOMETRY,
+            tracker_entries_per_bank=64,
+        )
+    harness = AttackHarness(
+        scheme, rowhammer_threshold=ATTACK_TRH, geometry=ATTACK_GEOMETRY
+    )
+    mapper = harness.mapper
+    trigger = ATTACK_TRH // 2
+    if args.pattern == "single":
+        pattern = patterns.single_sided(mapper, 1, 100, 3000)
+    elif args.pattern == "double":
+        pattern = patterns.double_sided(mapper, 1, 100, pairs=1500)
+    elif args.pattern == "many":
+        pattern = patterns.many_sided(mapper, 1, 100, aggressors=8,
+                                      rounds=400)
+    else:
+        pattern = patterns.half_double(
+            mapper, 1, 100,
+            far_hammers=100 * trigger,
+            near_hammers_per_epoch=trigger - 1,
+        )
+    report = harness.run(pattern)
+    print(f"{args.pattern} attack vs {args.scheme} "
+          f"(scaled geometry, T_RH={ATTACK_TRH}):")
+    print(f"  attacker activations: {report.activations:,}")
+    print(f"  mitigations:          {report.migrations}")
+    print(f"  peak row ACTs/64ms:   {report.peak_row_activations}")
+    print(f"  attack slowdown:      {report.slowdown:.2f}x")
+    if report.succeeded:
+        rows = ", ".join(str(f.row) for f in report.flips)
+        print(f"  RESULT: BIT FLIPS at physical rows {rows}")
+        return 1
+    print(f"  RESULT: mitigated (invariant holds: "
+          f"{harness.invariant_holds()})")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "sizing": _cmd_sizing,
+        "storage": _cmd_storage,
+        "sweep": _cmd_sweep,
+        "attack": _cmd_attack,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,24 @@
+"""Memory-controller layer: the request path of Fig. 4.
+
+The controller owns the DRAM channel/banks and routes every request
+through a mitigation scheme: mapping-table lookup, bank timing, tracker
+update, and any mitigative action (which blocks the channel).  It is
+the integration point used by the attack harness and integration tests;
+the performance sweeps use the lighter :mod:`repro.sim` layer on top.
+"""
+
+from repro.controller.request import MemoryRequest
+from repro.controller.copy_buffer import CopyBuffer
+from repro.controller.memctrl import AccessRecord, MemoryController
+from repro.controller.scheduler import FrFcfsScheduler, QueuedRequest
+from repro.controller.scheduled import ScheduledMemoryController
+
+__all__ = [
+    "MemoryRequest",
+    "CopyBuffer",
+    "AccessRecord",
+    "MemoryController",
+    "FrFcfsScheduler",
+    "QueuedRequest",
+    "ScheduledMemoryController",
+]

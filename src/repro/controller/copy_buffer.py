@@ -1,0 +1,50 @@
+"""Copy-buffer: the row-sized SRAM staging buffer for migrations.
+
+AQUA provisions the channel with one row-sized buffer (8 KB): a
+migration streams the source row into the buffer, then streams it out
+to the destination (Sec. IV-D).  The buffer is modelled explicitly so
+integration tests can assert the two-phase protocol (a second load
+before the store faults, mirroring the single-buffer hardware).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class CopyBuffer:
+    """Single row-sized staging buffer."""
+
+    def __init__(self, row_bytes: int = 8 * 1024) -> None:
+        if row_bytes < 1:
+            raise ValueError("row_bytes must be >= 1")
+        self.row_bytes = row_bytes
+        self._content: Optional[object] = None
+        self._source_row: Optional[int] = None
+        self.loads = 0
+        self.stores = 0
+
+    @property
+    def busy(self) -> bool:
+        """True while holding a row awaiting store-out."""
+        return self._source_row is not None
+
+    def load(self, source_row: int, content: object = None) -> None:
+        """Stream a row in; the buffer must be empty."""
+        if self.busy:
+            raise RuntimeError(
+                f"copy-buffer already holds row {self._source_row}"
+            )
+        self._source_row = source_row
+        self._content = content
+        self.loads += 1
+
+    def store(self) -> tuple:
+        """Stream the held row out; returns (source_row, content)."""
+        if not self.busy:
+            raise RuntimeError("copy-buffer is empty")
+        row, content = self._source_row, self._content
+        self._source_row = None
+        self._content = None
+        self.stores += 1
+        return row, content

@@ -1,0 +1,24 @@
+"""Memory request representation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemoryRequest:
+    """One demand request to the memory system.
+
+    ``row`` is the *logical* (software-visible) row; the mitigation
+    scheme decides which physical row actually services it.
+    """
+
+    row: int
+    is_write: bool = False
+    issue_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.row < 0:
+            raise ValueError("row must be non-negative")
+        if self.issue_ns < 0:
+            raise ValueError("issue time must be non-negative")

@@ -1,0 +1,76 @@
+"""Scheduled memory controller: FR-FCFS arbitration over the timed path.
+
+Wraps :class:`~repro.controller.memctrl.MemoryController` with a
+request queue and First-Ready/FCFS selection, so integration tests can
+drive realistic out-of-order service: row-buffer-friendly reordering
+changes which accesses become activations, which is the signal every
+tracker consumes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.controller.memctrl import AccessRecord, MemoryController
+from repro.controller.request import MemoryRequest
+from repro.controller.scheduler import FrFcfsScheduler
+from repro.mitigations.base import MitigationScheme
+from repro.dram.geometry import DramGeometry, DEFAULT_GEOMETRY
+from repro.dram.timing import DDR4Timing, DDR4_2400
+
+
+class ScheduledMemoryController:
+    """Queue + FR-FCFS scheduler in front of the mitigation path."""
+
+    def __init__(
+        self,
+        scheme: MitigationScheme,
+        geometry: DramGeometry = DEFAULT_GEOMETRY,
+        timing: DDR4Timing = DDR4_2400,
+        queue_capacity: int = 32,
+        **controller_kwargs,
+    ) -> None:
+        self.controller = MemoryController(
+            scheme, geometry=geometry, timing=timing, **controller_kwargs
+        )
+        self.scheduler = FrFcfsScheduler(capacity=queue_capacity)
+        self.now_ns = 0.0
+
+    @property
+    def scheme(self) -> MitigationScheme:
+        return self.controller.scheme
+
+    def enqueue(self, row: int, is_write: bool = False) -> None:
+        """Admit a demand request for ``row`` at the current time."""
+        self.scheduler.enqueue(
+            MemoryRequest(row=row, is_write=is_write, issue_ns=self.now_ns)
+        )
+
+    def service_one(self) -> Optional[AccessRecord]:
+        """Service the scheduler's next pick; returns its record."""
+        request = self.scheduler.select(
+            self.controller.channel, self.controller.mapper
+        )
+        if request is None:
+            return None
+        record = self.controller.access(request.row, self.now_ns)
+        self.now_ns = max(self.now_ns, record.complete_ns)
+        return record
+
+    def drain(self) -> List[AccessRecord]:
+        """Service everything queued, in scheduled order."""
+        records = []
+        while len(self.scheduler):
+            records.append(self.service_one())
+        return records
+
+    def run(self, rows) -> List[AccessRecord]:
+        """Convenience: enqueue ``rows`` (filling the queue window) and
+        service to completion, returning all records."""
+        records: List[AccessRecord] = []
+        for row in rows:
+            if self.scheduler.full:
+                records.append(self.service_one())
+            self.enqueue(int(row))
+        records.extend(self.drain())
+        return records

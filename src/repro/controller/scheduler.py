@@ -1,0 +1,99 @@
+"""FR-FCFS request scheduler.
+
+The baseline memory controller (Table I's out-of-order system) services
+requests with the standard First-Ready, First-Come-First-Served policy:
+
+1. **First-ready**: among queued requests, prefer one that hits an open
+   row buffer (it needs no precharge/activate and does not consume the
+   bank's ACT-to-ACT window).
+2. **FCFS**: among equally-ready requests, oldest first.
+
+The scheduler is substrate, not contribution -- mitigations interpose
+on the *activation* stream regardless of arrival order -- but it lets
+integration tests exercise realistic interleavings (row-buffer locality
+changes which accesses become activations, which is what trackers see).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.controller.request import MemoryRequest
+from repro.dram.address import AddressMapper
+from repro.dram.channel import Channel
+
+
+@dataclass
+class QueuedRequest:
+    """A request with its arrival order stamp."""
+
+    request: MemoryRequest
+    order: int
+
+
+class FrFcfsScheduler:
+    """First-Ready FCFS arbitration over a bounded request queue."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._queue: List[QueuedRequest] = []
+        self._arrivals = 0
+        self.row_hits_selected = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def full(self) -> bool:
+        return len(self._queue) >= self.capacity
+
+    def enqueue(self, request: MemoryRequest) -> None:
+        """Admit a request; raises when the queue is full."""
+        if self.full:
+            raise RuntimeError(f"scheduler queue full ({self.capacity})")
+        self._queue.append(QueuedRequest(request, self._arrivals))
+        self._arrivals += 1
+
+    def select(
+        self, channel: Channel, mapper: AddressMapper
+    ) -> Optional[MemoryRequest]:
+        """Pick and remove the next request to service.
+
+        Row-buffer hits first (oldest hit), else the oldest request.
+        ``physical`` row state is read from the channel's banks; callers
+        that remap rows should enqueue post-translation addresses.
+        """
+        if not self._queue:
+            return None
+        best_index = None
+        best_key = None
+        for index, queued in enumerate(self._queue):
+            row = queued.request.row
+            bank = channel.bank(mapper.bank_of(row))
+            hit = bank.is_hit(mapper.bank_row_of(row))
+            key = (0 if hit else 1, queued.order)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = index
+        chosen = self._queue.pop(best_index)
+        if best_key[0] == 0:
+            self.row_hits_selected += 1
+        return chosen.request
+
+    def drain_order(
+        self, channel: Channel, mapper: AddressMapper
+    ) -> List[MemoryRequest]:
+        """Service the whole queue, applying bank state as it evolves.
+
+        Returns the requests in serviced order (test/inspection helper).
+        """
+        order: List[MemoryRequest] = []
+        while self._queue:
+            request = self.select(channel, mapper)
+            bank = channel.bank(mapper.bank_of(request.row))
+            bank.access(mapper.bank_row_of(request.row), request.issue_ns)
+            order.append(request)
+        return order

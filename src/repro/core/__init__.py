@@ -1,0 +1,68 @@
+"""AQUA core: the paper's primary contribution.
+
+Public surface:
+
+* :class:`~repro.core.aqua.AquaMitigation` -- the scheme itself.
+* :class:`~repro.core.config.AquaConfig` -- all tunables.
+* :mod:`~repro.core.sizing` -- RQA sizing (Equations 1-3, Table III).
+* The individual structures (FPT, RPT, RQA, bloom filter, FPT-Cache,
+  CAT) for direct study and unit testing.
+"""
+
+from repro.core.aqua import AquaMitigation
+from repro.core.bloom import ResettableBloomFilter
+from repro.core.cat import CollisionAvoidanceTable, TableOverflowError
+from repro.core.config import AquaConfig
+from repro.core.fpt import DramForwardPointerTable, ForwardPointerTable
+from repro.core.fpt_cache import FptCache
+from repro.core.memtables import (
+    LookupOutcome,
+    MemoryMappedTables,
+    SramTables,
+    TableLookup,
+)
+from repro.core.migration import DEFAULT_COSTS, MigrationCosts
+from repro.core.quarantine import (
+    Allocation,
+    RowQuarantineArea,
+    RqaExhaustedError,
+)
+from repro.core.rpt import ReversePointerTable, RptEntry
+from repro.core.setassoc import SetAssociativeTable
+from repro.core.sizing import (
+    RqaSizing,
+    aggression_time_ns,
+    batch_time_ns,
+    default_rqa_rows,
+    rqa_rows,
+    table_iii,
+)
+
+__all__ = [
+    "AquaMitigation",
+    "AquaConfig",
+    "ResettableBloomFilter",
+    "CollisionAvoidanceTable",
+    "TableOverflowError",
+    "DramForwardPointerTable",
+    "ForwardPointerTable",
+    "FptCache",
+    "LookupOutcome",
+    "MemoryMappedTables",
+    "SramTables",
+    "TableLookup",
+    "MigrationCosts",
+    "DEFAULT_COSTS",
+    "Allocation",
+    "RowQuarantineArea",
+    "RqaExhaustedError",
+    "ReversePointerTable",
+    "RptEntry",
+    "SetAssociativeTable",
+    "RqaSizing",
+    "aggression_time_ns",
+    "batch_time_ns",
+    "default_rqa_rows",
+    "rqa_rows",
+    "table_iii",
+]

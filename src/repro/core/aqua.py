@@ -1,0 +1,308 @@
+"""AQUA: the quarantine-based Rowhammer mitigation (Sec. IV-V).
+
+``AquaMitigation`` wires together every AQUA structure:
+
+* an **ART** (aggressor-row tracker, default per-bank Misra-Gries)
+  indexed by the *physical* row address after FPT translation
+  (security property P3),
+* the **RQA** circular buffer with its RPT, sized by Equation 3,
+* a **table backend** -- SRAM FPT/RPT (Sec. IV) or memory-mapped tables
+  with bloom filter + FPT-Cache (Sec. V),
+* a **row-content store** (optional) proving migrations move data,
+* DRAM **energy counters** for the power analysis (Sec. V-H).
+
+The flow per activation (Fig. 4): translate through the FPT, route to
+the original or quarantined location, feed the tracker, and on a
+threshold crossing quarantine the row at the RQA head -- first draining
+any stale row occupying that slot back to its home (lazy drain).
+Rows storing the in-DRAM tables are themselves protected: their FPT
+entries are pinned in SRAM and they are quarantined like any other row
+if hammered (the PTHammer defense of Sec. VI-B).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.config import AquaConfig
+from repro.core.memtables import (
+    LookupOutcome,
+    MemoryMappedTables,
+    SramTables,
+    TableBackend,
+)
+from repro.core.quarantine import RowQuarantineArea
+from repro.dram.data import RowDataStore
+from repro.dram.power import DramEnergyCounters
+from repro.mitigations.base import AccessResult, MitigationScheme
+from repro.trackers import (
+    AggressorTracker,
+    ExactTracker,
+    HydraTracker,
+    MisraGriesTracker,
+)
+
+
+def _build_tracker(config: AquaConfig) -> AggressorTracker:
+    """Instantiate the ART named by the config."""
+    threshold = config.effective_threshold
+    if config.tracker == "misra-gries":
+        banks = config.geometry.banks_per_rank
+        return MisraGriesTracker(
+            threshold,
+            num_banks=banks,
+            bank_of=lambda row: row % banks,
+            entries_per_bank=config.tracker_entries_per_bank,
+        )
+    if config.tracker == "hydra":
+        return HydraTracker(threshold)
+    return ExactTracker(threshold)
+
+
+class AquaMitigation(MitigationScheme):
+    """The AQUA scheme, pluggable into the memory-controller simulator."""
+
+    name = "aqua"
+
+    def __init__(self, config: Optional[AquaConfig] = None) -> None:
+        super().__init__()
+        self.config = config if config is not None else AquaConfig()
+        cfg = self.config
+        self.rqa = RowQuarantineArea(cfg.derived_rqa_slots)
+        self.rqa_base = cfg.rqa_base_row
+        self.tracker = _build_tracker(cfg)
+        self.tables: TableBackend
+        if cfg.table_mode == "memory-mapped":
+            self.tables = MemoryMappedTables(
+                total_rows=cfg.geometry.rows_per_rank,
+                rqa_slots=cfg.derived_rqa_slots,
+                bloom_group_size=cfg.bloom_group_size,
+                fpt_cache_entries=cfg.fpt_cache_entries,
+                table_base_row=cfg.table_base_row,
+                timing=cfg.timing,
+                row_bytes=cfg.geometry.row_bytes,
+            )
+        else:
+            self.tables = SramTables(
+                rqa_slots=cfg.derived_rqa_slots,
+                fpt_capacity=cfg.derived_fpt_capacity,
+            )
+        self.data = RowDataStore() if cfg.track_data else None
+        self.energy = DramEnergyCounters()
+        #: SRAM-pinned FPT entries for the physical rows holding the
+        #: in-DRAM tables (avoids recursive lookups, Sec. VI-B).
+        self._pinned_fpt: Dict[int, int] = {}
+        self._migration_ns = cfg.timing.migration_ns(cfg.geometry.row_bytes)
+        self.internal_migrations = 0
+        self.table_row_quarantines = 0
+
+    # ------------------------------------------------------------ scheme API
+
+    @property
+    def visible_rows(self) -> int:
+        return self.config.visible_rows
+
+    def sram_bytes(self) -> int:
+        """Mapping-structure SRAM (tables + copy-buffer; Sec. V-G)."""
+        copy_buffer = self.config.geometry.row_bytes
+        pinned = 512 + 32 if self.config.table_mode == "memory-mapped" else 0
+        return self.tables.sram_bytes() + copy_buffer + pinned
+
+    def _validate_row(self, logical_row: int) -> None:
+        if not 0 <= logical_row < self.visible_rows:
+            raise ValueError(
+                f"logical row {logical_row} outside visible space of "
+                f"{self.visible_rows} rows"
+            )
+
+    def _resolve(self, logical_row, lookup) -> Tuple[int, float, Optional[object]]:
+        if lookup.table_row is not None and lookup.dram_accesses > 0:
+            # The lookup itself touched an in-DRAM table row: those
+            # activations must be visible to the tracker too (PTHammer
+            # defense), via the row's SRAM-pinned mapping.
+            self._observe_table_row(lookup.table_row, lookup.dram_accesses)
+        if lookup.slot is not None:
+            return self.rqa_base + lookup.slot, lookup.latency_ns, lookup.outcome
+        return logical_row, lookup.latency_ns, lookup.outcome
+
+    def _translate(self, logical_row: int) -> Tuple[int, float, Optional[object]]:
+        self._validate_row(logical_row)
+        return self._resolve(logical_row, self.tables.lookup(logical_row))
+
+    def _translate_batch(
+        self, logical_row: int, n: int
+    ) -> Tuple[int, float, Optional[object]]:
+        self._validate_row(logical_row)
+        return self._resolve(logical_row, self.tables.lookup_batch(logical_row, n))
+
+    def _observe(self, physical_row: int) -> bool:
+        return self.tracker.observe(physical_row)
+
+    def _mitigate(
+        self, logical_row: int, physical_row: int, now_ns: float
+    ) -> AccessResult:
+        return self._quarantine(logical_row, physical_row)
+
+    def _end_epoch(self, new_epoch: int) -> None:
+        super()._end_epoch(new_epoch)
+        # The ART resets every epoch; the FPT/RPT drain lazily (Sec. IV-A).
+        self.tracker.reset()
+
+    # -------------------------------------------------------------- internals
+
+    def _quarantine(self, logical_row: int, physical_row: int) -> AccessResult:
+        """Move ``logical_row`` (currently at ``physical_row``) into the RQA."""
+        busy = 0.0
+        extra_acts = []
+        evicted = False
+        allocation = self.rqa.allocate(logical_row, self.current_epoch)
+        dest_physical = self.rqa_base + allocation.slot
+        if (
+            allocation.evicted_row is not None
+            and allocation.evicted_row != logical_row
+        ):
+            # Lazy drain: move the stale previous-epoch resident home.
+            stale = allocation.evicted_row
+            if self.data is not None:
+                self.data.move(dest_physical, stale)
+            busy += self._migration_ns + self._release_mapping(
+                stale, dest_physical
+            )
+            self.energy.add_migration(self.config.geometry.row_bytes)
+            # Only the destination *write* is charged to the ledger:
+            # the source read restores the departing row (like a
+            # refresh) and is not an attack-usable activation of it.
+            extra_acts.append(stale)
+            self.stats.row_moves += 1
+            self.stats.evictions += 1
+            evicted = True
+        was_quarantined = physical_row != logical_row
+        if was_quarantined and physical_row != dest_physical:
+            # Internal migration: free the slot the row came from.
+            # (When the head has lapped back to the row's own slot,
+            # source and destination coincide and there is nothing to
+            # release -- allocate() already refreshed the epoch tag.)
+            self.rqa.release(physical_row - self.rqa_base)
+            self.internal_migrations += 1
+        if self.data is not None and physical_row != dest_physical:
+            self.data.move(physical_row, dest_physical)
+        busy += self._migration_ns + self.tables.on_quarantine(
+            logical_row, allocation.slot
+        )
+        self.energy.add_migration(self.config.geometry.row_bytes)
+        extra_acts.append(dest_physical)
+        self.stats.migrations += 1
+        self.stats.row_moves += 1
+        return AccessResult(
+            physical_row=dest_physical,
+            busy_ns=busy,
+            migrated=True,
+            evicted=evicted,
+            extra_activations=tuple(extra_acts),
+        )
+
+    def _release_mapping(self, stale_row: int, slot_physical: int) -> float:
+        """Drop the mapping of an evicted stale row.
+
+        Table rows are mapped through the SRAM-pinned entries; all other
+        rows through the table backend.  Returns the update latency.
+        """
+        if self._pinned_fpt.get(stale_row) == slot_physical:
+            del self._pinned_fpt[stale_row]
+            return 0.0
+        return self.tables.on_release(stale_row)
+
+    def _observe_table_row(self, table_row: int, count: int = 1) -> None:
+        """Track (and if needed quarantine) in-DRAM table row accesses."""
+        physical = self._pinned_fpt.get(table_row, table_row)
+        crossings = self.tracker.observe_batch(physical, count)
+        for _ in range(crossings):
+            self._quarantine_table_row(table_row)
+
+    def _quarantine_table_row(self, table_row: int) -> None:
+        """Move a hammered table row into the RQA (Sec. VI-B integrity)."""
+        physical = self._pinned_fpt.get(table_row, table_row)
+        allocation = self.rqa.allocate(table_row, self.current_epoch)
+        dest_physical = self.rqa_base + allocation.slot
+        if allocation.evicted_row is not None:
+            stale = allocation.evicted_row
+            if self.data is not None:
+                self.data.move(dest_physical, stale)
+            self._release_mapping(stale, dest_physical)
+            self.stats.row_moves += 1
+            self.stats.evictions += 1
+            self.energy.add_migration(self.config.geometry.row_bytes)
+        if self.data is not None:
+            self.data.move(physical, dest_physical)
+        if physical != table_row:
+            self.rqa.release(physical - self.rqa_base)
+            self.internal_migrations += 1
+        self._pinned_fpt[table_row] = dest_physical
+        self.stats.migrations += 1
+        self.stats.row_moves += 1
+        self.table_row_quarantines += 1
+        self.energy.add_migration(self.config.geometry.row_bytes)
+
+    # --------------------------------------------------------------- services
+
+    def table_dram_busy_ns(self) -> float:
+        """Channel time spent on in-DRAM FPT/RPT traffic (Sec. V).
+
+        Zero in SRAM-table mode.  This is the extra cost Fig. 9 measures
+        between the SRAM and memory-mapped designs.
+        """
+        tables = self.tables
+        if not isinstance(tables, MemoryMappedTables):
+            return 0.0
+        accesses = (
+            tables.dram_fpt.dram_reads
+            + tables.dram_fpt.dram_writes
+            + tables.rpt_dram_accesses
+        )
+        return accesses * tables.dram_lookup_ns
+
+    def locate(self, logical_row: int) -> int:
+        """Current physical location of ``logical_row`` (no side effects).
+
+        For tests and tools; does not touch trackers or lookup stats.
+        """
+        if isinstance(self.tables, SramTables):
+            slot = self.tables.fpt._cat.lookup(logical_row)
+        else:
+            slot = self.tables.dram_fpt.peek(logical_row)
+        if slot is None:
+            return logical_row
+        return self.rqa_base + slot
+
+    def is_quarantined(self, logical_row: int) -> bool:
+        """Whether ``logical_row`` currently lives in the RQA."""
+        return self.locate(logical_row) != logical_row
+
+    def drain_stale(self, max_rows: int = 64) -> int:
+        """Background drain: return up to ``max_rows`` stale rows home.
+
+        Sec. IV-D notes eviction latency can be removed from the critical
+        path by periodically draining old entries; this implements that
+        optional optimisation.  Returns the number of rows drained.
+        """
+        drained = 0
+        for slot in self.rqa.stale_slots(self.current_epoch):
+            if drained >= max_rows:
+                break
+            row = self.rqa.release(slot)
+            if row is None:
+                continue
+            if self.data is not None:
+                self.data.move(self.rqa_base + slot, row)
+            self.tables.on_release(row)
+            self.stats.row_moves += 1
+            self.energy.add_migration(self.config.geometry.row_bytes)
+            drained += 1
+        return drained
+
+    def lookup_breakdown(self) -> Dict[LookupOutcome, float]:
+        """Fig. 10 series (memory-mapped mode only)."""
+        if isinstance(self.tables, MemoryMappedTables):
+            return self.tables.lookup_breakdown()
+        total = max(1, self.tables.fpt.lookups)
+        return {LookupOutcome.SRAM: self.tables.fpt.lookups / total}

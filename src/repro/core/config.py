@@ -1,0 +1,135 @@
+"""Configuration for an AQUA instance.
+
+Collects every tunable the paper discusses, with defaults matching the
+evaluated design point: Rowhammer threshold 1K (effective threshold 500),
+RQA sized by Equation 3, 32K-entry CAT FPT, 128K-entry (16 KB) bloom
+filter, 4K-entry (16 KB) FPT-Cache, Misra-Gries tracker.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.fpt import DEFAULT_FPT_CAPACITY, DramForwardPointerTable
+from repro.core.rpt import ReversePointerTable
+from repro.core.sizing import rqa_rows
+from repro.dram.geometry import DramGeometry, DEFAULT_GEOMETRY
+from repro.dram.timing import DDR4Timing, DDR4_2400
+
+
+TABLE_MODES = ("sram", "memory-mapped")
+TRACKERS = ("misra-gries", "hydra", "exact")
+
+
+@dataclass
+class AquaConfig:
+    """All AQUA parameters; derived sizes computed on demand."""
+
+    rowhammer_threshold: int = 1000
+    geometry: DramGeometry = field(default_factory=lambda: DEFAULT_GEOMETRY)
+    timing: DDR4Timing = field(default_factory=lambda: DDR4_2400)
+    table_mode: str = "sram"
+    tracker: str = "misra-gries"
+    rqa_slots: Optional[int] = None
+    """Override the Equation-3 RQA size (None = derive it)."""
+    fpt_capacity: Optional[int] = None
+    """CAT entry slots for the SRAM FPT (None = derive from the RQA
+    size with the paper's ~1.4x over-provisioning; 32K at the default
+    design point, Sec. IV-C)."""
+    bloom_group_size: int = 16
+    fpt_cache_entries: int = 4096
+    tracker_entries_per_bank: Optional[int] = None
+    track_data: bool = True
+    """Maintain the row-content store to verify migrations move data."""
+
+    def __post_init__(self) -> None:
+        if self.rowhammer_threshold < 2:
+            raise ValueError("Rowhammer threshold must be >= 2")
+        if self.table_mode not in TABLE_MODES:
+            raise ValueError(
+                f"table_mode {self.table_mode!r} not in {TABLE_MODES}"
+            )
+        if self.tracker not in TRACKERS:
+            raise ValueError(f"tracker {self.tracker!r} not in {TRACKERS}")
+
+    @property
+    def effective_threshold(self) -> int:
+        """Migration trigger threshold: T_RH / 2 (Sec. IV-B).
+
+        Halved because the tracker resets each epoch and up to two
+        tracking epochs can span one refresh window (property P1).
+        """
+        return max(1, self.rowhammer_threshold // 2)
+
+    @property
+    def derived_rqa_slots(self) -> int:
+        """RQA size: the override if given, else Equation 3."""
+        if self.rqa_slots is not None:
+            if self.rqa_slots < 1:
+                raise ValueError("rqa_slots must be >= 1")
+            return self.rqa_slots
+        return rqa_rows(
+            self.effective_threshold,
+            banks=self.geometry.banks_per_rank,
+            timing=self.timing,
+            row_bytes=self.geometry.row_bytes,
+        )
+
+    @property
+    def derived_fpt_capacity(self) -> int:
+        """SRAM FPT capacity: the override, else ~1.4x the RQA size.
+
+        The paper provisions 32K CAT slots for 23K valid entries; the
+        same over-provisioning ratio keeps the collision-avoidance
+        guarantee at other design points.
+        """
+        if self.fpt_capacity is not None:
+            if self.fpt_capacity < 1:
+                raise ValueError("fpt_capacity must be >= 1")
+            return self.fpt_capacity
+        derived = math.ceil(self.derived_rqa_slots * 32 / 23)
+        # Round up to a multiple of 16 (2 skews x 8 ways).
+        derived = ((derived + 15) // 16) * 16
+        return max(DEFAULT_FPT_CAPACITY, derived)
+
+    @property
+    def table_dram_rows(self) -> int:
+        """Physical rows consumed by in-DRAM FPT + RPT (memory-mapped mode).
+
+        512 rows for the 4 MB FPT plus ~13 for the RPT in the baseline.
+        """
+        if self.table_mode != "memory-mapped":
+            return 0
+        fpt_bytes = (
+            self.geometry.rows_per_rank * DramForwardPointerTable.ENTRY_BYTES
+        )
+        rpt_bytes = ReversePointerTable.dram_bytes(self.derived_rqa_slots)
+        row_bytes = self.geometry.row_bytes
+        return math.ceil(fpt_bytes / row_bytes) + math.ceil(rpt_bytes / row_bytes)
+
+    @property
+    def visible_rows(self) -> int:
+        """Software-visible rows after carving out the RQA and tables."""
+        reserved = self.derived_rqa_slots + self.table_dram_rows
+        visible = self.geometry.rows_per_rank - reserved
+        if visible <= 0:
+            raise ValueError("reserved regions exceed memory capacity")
+        return visible
+
+    @property
+    def rqa_base_row(self) -> int:
+        """First physical row of the quarantine area (top of the rank)."""
+        return self.geometry.rows_per_rank - self.derived_rqa_slots
+
+    @property
+    def table_base_row(self) -> int:
+        """First physical row storing the in-DRAM FPT (then the RPT)."""
+        return self.visible_rows
+
+    @property
+    def dram_overhead(self) -> float:
+        """Fraction of memory reserved (RQA + tables): ~1.13 % default."""
+        reserved = self.derived_rqa_slots + self.table_dram_rows
+        return reserved / self.geometry.rows_per_rank

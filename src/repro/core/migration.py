@@ -1,0 +1,58 @@
+"""Row-migration cost model (Sec. IV-D).
+
+Centralises the latency arithmetic the paper walks through:
+
+* Streaming one 8 KB row between DRAM and the copy-buffer takes one
+  activation (45 ns) plus 128 line transfers at 5 ns: **685 ns**.
+* A migration is one row-read plus one row-write: **1.37 us**.
+* A migration whose destination holds stale valid data first drains the
+  old row home: **2.74 us** total.
+
+These helpers simply delegate to :class:`~repro.dram.timing.DDR4Timing`
+so alternative geometries/speed grades flow through consistently; they
+exist as the single documented place for the Sec. IV-D numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.timing import DDR4Timing, DDR4_2400
+
+
+@dataclass(frozen=True)
+class MigrationCosts:
+    """Latency components of quarantine operations for one row size."""
+
+    row_bytes: int
+    transfer_ns: float
+    migration_ns: float
+    migration_with_eviction_ns: float
+
+    @staticmethod
+    def for_row(
+        row_bytes: int = 8 * 1024, timing: DDR4Timing = DDR4_2400
+    ) -> "MigrationCosts":
+        """Compute the Sec. IV-D costs for ``row_bytes`` rows."""
+        return MigrationCosts(
+            row_bytes=row_bytes,
+            transfer_ns=timing.row_transfer_ns(row_bytes),
+            migration_ns=timing.migration_ns(row_bytes),
+            migration_with_eviction_ns=timing.migration_with_eviction_ns(
+                row_bytes
+            ),
+        )
+
+    @property
+    def swap_ns(self) -> float:
+        """Cost of an RRS-style swap: two reads and two writes.
+
+        A swap migrates both rows of the pair, costing twice a one-way
+        AQUA migration (Sec. I: "half as much time ... compared to
+        swapping two rows").
+        """
+        return 2.0 * self.migration_ns
+
+
+DEFAULT_COSTS = MigrationCosts.for_row()
+"""Costs for the baseline 8 KB row on DDR4-2400."""

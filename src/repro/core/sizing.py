@@ -1,0 +1,118 @@
+"""Row Quarantine Area sizing: Equations 1-3 and Table III.
+
+For security, no RQA slot may be reused within one refresh window
+(64 ms), so the RQA must hold every row that can possibly be
+quarantined in that window.  The bound (Sec. IV-E):
+
+* Triggering one migration needs ``A`` activations taking
+  ``t_AGG = A * tRC``                                   (Eq. 1)
+* Attacking all ``B`` banks concurrently, ``B`` rows migrate per
+  ``t_B = t_AGG + B * t_mov``                            (Eq. 2)
+* So at most
+  ``R_max = tREFW * B / (t_AGG + B * t_mov)``            (Eq. 3)
+  rows can enter the RQA per refresh window.
+
+With ``A = 500`` (half of T_RH = 1K), ``B = 16`` and DDR4-2400 timing,
+``R_max = 23,053`` rows = 180 MB = 1.1 % of a 16 GB rank.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.dram.geometry import DramGeometry, DEFAULT_GEOMETRY
+from repro.dram.timing import DDR4Timing, DDR4_2400
+
+
+def aggression_time_ns(effective_threshold: int, timing: DDR4Timing = DDR4_2400) -> float:
+    """Equation 1: time to inflict enough ACTs to trigger one migration."""
+    if effective_threshold < 1:
+        raise ValueError("effective threshold must be >= 1")
+    return effective_threshold * timing.trc_ns
+
+
+def batch_time_ns(
+    effective_threshold: int,
+    banks: int = 16,
+    timing: DDR4Timing = DDR4_2400,
+    row_bytes: int = 8 * 1024,
+) -> float:
+    """Equation 2: time for ``banks`` concurrent rows to trigger and migrate."""
+    if banks < 1:
+        raise ValueError("banks must be >= 1")
+    t_agg = aggression_time_ns(effective_threshold, timing)
+    return t_agg + banks * timing.migration_ns(row_bytes)
+
+
+def rqa_rows(
+    effective_threshold: int,
+    banks: int = 16,
+    timing: DDR4Timing = DDR4_2400,
+    row_bytes: int = 8 * 1024,
+) -> int:
+    """Equation 3: maximum migrations per refresh window = RQA size.
+
+    Rounded up: under-provisioning by even one row would allow intra-
+    epoch slot reuse, which is the security failure mode.
+    """
+    t_b = batch_time_ns(effective_threshold, banks, timing, row_bytes)
+    return math.ceil(timing.trefw_ns * banks / t_b)
+
+
+@dataclass(frozen=True)
+class RqaSizing:
+    """One row of Table III: RQA size at a given effective threshold."""
+
+    effective_threshold: int
+    rows: int
+    size_mb: float
+    dram_overhead: float
+
+    @staticmethod
+    def for_threshold(
+        effective_threshold: int,
+        geometry: DramGeometry = DEFAULT_GEOMETRY,
+        timing: DDR4Timing = DDR4_2400,
+    ) -> "RqaSizing":
+        """Compute the sizing row for ``effective_threshold``."""
+        rows = rqa_rows(
+            effective_threshold,
+            banks=geometry.banks_per_rank,
+            timing=timing,
+            row_bytes=geometry.row_bytes,
+        )
+        size_mb = rows * geometry.row_bytes / (1024 * 1024)
+        overhead = rows / geometry.rows_per_rank
+        return RqaSizing(effective_threshold, rows, size_mb, overhead)
+
+
+TABLE_III_THRESHOLDS = (1000, 500, 250, 125, 50, 1)
+"""Effective thresholds evaluated in Table III of the paper."""
+
+
+def table_iii(
+    geometry: DramGeometry = DEFAULT_GEOMETRY,
+    timing: DDR4Timing = DDR4_2400,
+) -> List[RqaSizing]:
+    """Regenerate Table III: quarantine size as the threshold varies."""
+    return [
+        RqaSizing.for_threshold(threshold, geometry, timing)
+        for threshold in TABLE_III_THRESHOLDS
+    ]
+
+
+def default_rqa_rows(
+    rowhammer_threshold: int = 1000,
+    geometry: DramGeometry = DEFAULT_GEOMETRY,
+    timing: DDR4Timing = DDR4_2400,
+) -> int:
+    """RQA rows for a Rowhammer threshold, using ``A = T_RH / 2``."""
+    effective = max(1, rowhammer_threshold // 2)
+    return rqa_rows(
+        effective,
+        banks=geometry.banks_per_rank,
+        timing=timing,
+        row_bytes=geometry.row_bytes,
+    )

@@ -1,0 +1,33 @@
+"""DRAM substrate: timing, geometry, banks, channels, refresh, and power.
+
+This package models a DDR4 memory system at *activation granularity*: the
+fundamental simulated event is a row activation (ACT), timed with the DDR4
+constants from Table I of the AQUA paper (MICRO 2022).  All Rowhammer
+mechanisms in the paper (trackers, migrations, indirection tables) operate
+per-ACT, so this level of detail is sufficient to reproduce the evaluation.
+"""
+
+from repro.dram.timing import DDR4Timing, DDR4_2400
+from repro.dram.geometry import DramGeometry, RowAddress, DEFAULT_GEOMETRY
+from repro.dram.address import AddressMapper
+from repro.dram.bank import BankState
+from repro.dram.channel import Channel
+from repro.dram.refresh import RefreshScheduler, EPOCH_NS
+from repro.dram.power import DramPowerModel, DramEnergyCounters
+from repro.dram.data import RowDataStore
+
+__all__ = [
+    "DDR4Timing",
+    "DDR4_2400",
+    "DramGeometry",
+    "RowAddress",
+    "DEFAULT_GEOMETRY",
+    "AddressMapper",
+    "BankState",
+    "Channel",
+    "RefreshScheduler",
+    "EPOCH_NS",
+    "DramPowerModel",
+    "DramEnergyCounters",
+    "RowDataStore",
+]

@@ -1,0 +1,70 @@
+"""Per-bank state: open row, timing, and activation accounting.
+
+A bank services one row at a time.  Opening a different row requires a
+precharge followed by an activation, and the DDR4 standard bounds the
+ACT-to-ACT interval within a bank by ``tRC`` (45 ns).  The bank tracks:
+
+* the currently open row (for row-buffer hit/miss classification),
+* the earliest time the next activation may issue,
+* activation counts for the current epoch (used by power and stats).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.timing import DDR4Timing, DDR4_2400
+
+
+@dataclass
+class BankState:
+    """Timing and row-buffer state of a single DRAM bank."""
+
+    timing: DDR4Timing = field(default_factory=lambda: DDR4_2400)
+    open_row: int = -1
+    next_act_ns: float = 0.0
+    acts_this_epoch: int = 0
+    row_hits_this_epoch: int = 0
+
+    def is_hit(self, bank_row: int) -> bool:
+        """True if ``bank_row`` is already open (row-buffer hit)."""
+        return self.open_row == bank_row
+
+    def access(self, bank_row: int, now_ns: float) -> float:
+        """Access ``bank_row`` at time ``now_ns``; return completion time.
+
+        A row-buffer hit costs ``tCL``; a miss waits for the bank's
+        ACT-to-ACT window, then pays precharge + activate + CAS
+        (``tRP + tRCD + tCL``).  The activation counter increments only
+        on misses, mirroring how real trackers observe ACT commands.
+        """
+        if self.is_hit(bank_row):
+            self.row_hits_this_epoch += 1
+            return now_ns + self.timing.tcl_ns
+        start = max(now_ns, self.next_act_ns)
+        self.open_row = bank_row
+        self.acts_this_epoch += 1
+        self.next_act_ns = start + self.timing.trc_ns
+        return start + self.timing.trp_ns + self.timing.trcd_ns + self.timing.tcl_ns
+
+    def activate(self, bank_row: int, now_ns: float) -> float:
+        """Force an activation of ``bank_row`` (closing any open row).
+
+        Returns the time at which the activation issues.  Used by attack
+        models that alternate rows to defeat the row buffer.
+        """
+        start = max(now_ns, self.next_act_ns)
+        self.open_row = bank_row
+        self.acts_this_epoch += 1
+        self.next_act_ns = start + self.timing.trc_ns
+        return start
+
+    def precharge(self) -> None:
+        """Close the open row (e.g. at a refresh boundary)."""
+        self.open_row = -1
+
+    def reset_epoch(self) -> None:
+        """Clear per-epoch counters at a refresh-window boundary."""
+        self.acts_this_epoch = 0
+        self.row_hits_this_epoch = 0
+        self.precharge()

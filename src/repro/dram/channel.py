@@ -1,0 +1,61 @@
+"""Channel model: shared bus occupancy and migration busy time.
+
+Row migrations stream entire rows through the memory controller's
+copy-buffer, keeping the channel busy and unavailable to demand requests
+(Sec. IV-G: "row migration makes the channel unavailable for servicing
+any memory request until the migration is complete").  The channel
+accumulates this busy time so the simulator can compute the memory-time
+dilation that dominates the slowdown of row-migration schemes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.dram.bank import BankState
+from repro.dram.geometry import DramGeometry, DEFAULT_GEOMETRY
+from repro.dram.timing import DDR4Timing, DDR4_2400
+
+
+@dataclass
+class Channel:
+    """One memory channel with its banks and a busy-time ledger."""
+
+    geometry: DramGeometry = field(default_factory=lambda: DEFAULT_GEOMETRY)
+    timing: DDR4Timing = field(default_factory=lambda: DDR4_2400)
+    banks: List[BankState] = field(init=False)
+    busy_until_ns: float = field(default=0.0)
+    migration_busy_ns: float = field(default=0.0)
+    migrations: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        self.banks = [
+            BankState(timing=self.timing)
+            for _ in range(self.geometry.banks_per_rank)
+        ]
+
+    def bank(self, index: int) -> BankState:
+        """The bank at ``index`` within this channel's rank."""
+        return self.banks[index]
+
+    def reserve_for_migration(self, now_ns: float, duration_ns: float) -> float:
+        """Block the channel for a migration; return its completion time.
+
+        Migrations serialise behind any in-flight channel activity, so
+        the start time is ``max(now, busy_until)``.
+        """
+        start = max(now_ns, self.busy_until_ns)
+        self.busy_until_ns = start + duration_ns
+        self.migration_busy_ns += duration_ns
+        self.migrations += 1
+        return self.busy_until_ns
+
+    def earliest_issue(self, now_ns: float) -> float:
+        """Earliest time a demand request can use the channel."""
+        return max(now_ns, self.busy_until_ns)
+
+    def reset_epoch(self) -> None:
+        """Clear per-epoch bank counters (migration totals persist)."""
+        for bank in self.banks:
+            bank.reset_epoch()

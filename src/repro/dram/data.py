@@ -1,0 +1,58 @@
+"""Row-content store used to verify that migrations preserve data.
+
+The simulator normally tracks only *where* rows live; this optional
+store also tracks *what* they hold, as opaque tokens, so integration
+tests can assert the end-to-end contract of a row-migration scheme:
+a read of logical row X always returns the data last written to X, no
+matter how many times AQUA (or RRS) has relocated the physical row.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class RowDataStore:
+    """Map *physical* row id -> opaque content token.
+
+    Mitigation schemes call :meth:`move` / :meth:`swap` when they migrate
+    rows; the memory controller calls :meth:`read` / :meth:`write` with
+    the physical row id it resolved through the indirection tables.
+    Unwritten rows read as ``None`` (cleared DRAM).
+    """
+
+    def __init__(self) -> None:
+        self._contents: Dict[int, object] = {}
+
+    def write(self, physical_row: int, token: object) -> None:
+        """Store ``token`` in ``physical_row``."""
+        self._contents[physical_row] = token
+
+    def read(self, physical_row: int) -> Optional[object]:
+        """Return the content of ``physical_row`` (``None`` if never set)."""
+        return self._contents.get(physical_row)
+
+    def move(self, src_row: int, dst_row: int) -> None:
+        """Copy ``src`` to ``dst`` and clear ``src`` (AQUA-style migration).
+
+        Clearing the source models the quarantine-area hygiene property:
+        a vacated slot never exposes a stale copy to the original address.
+        """
+        self._contents[dst_row] = self._contents.get(src_row)
+        self._contents.pop(src_row, None)
+
+    def swap(self, row_a: int, row_b: int) -> None:
+        """Exchange the contents of two rows (RRS-style swap)."""
+        a = self._contents.get(row_a)
+        b = self._contents.get(row_b)
+        if b is None:
+            self._contents.pop(row_a, None)
+        else:
+            self._contents[row_a] = b
+        if a is None:
+            self._contents.pop(row_b, None)
+        else:
+            self._contents[row_b] = a
+
+    def __len__(self) -> int:
+        return len(self._contents)

@@ -1,0 +1,80 @@
+"""DRAM geometry: channels, ranks, banks, rows.
+
+The paper's baseline (Table I) is a 16 GB DDR4 rank with 16 banks of
+128K rows, each row 8 KB, for 2 M rows total per rank.  ``DramGeometry``
+captures these parameters and exposes the derived sizes used throughout
+the reproduction (row-pointer widths, total capacity, and so on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+
+class RowAddress(NamedTuple):
+    """Fully decoded location of a DRAM row."""
+
+    channel: int
+    rank: int
+    bank: int
+    row: int
+
+
+@dataclass(frozen=True)
+class DramGeometry:
+    """Physical organisation of the memory under study.
+
+    The AQUA structures (FPT, RPT, RQA) are provisioned per rank, so most
+    derived quantities are rank-relative.
+    """
+
+    channels: int = 1
+    ranks_per_channel: int = 1
+    banks_per_rank: int = 16
+    rows_per_bank: int = 128 * 1024
+    row_bytes: int = 8 * 1024
+
+    @property
+    def rows_per_rank(self) -> int:
+        """Number of rows in one rank (2 M in the baseline)."""
+        return self.banks_per_rank * self.rows_per_bank
+
+    @property
+    def total_rows(self) -> int:
+        """Number of rows across all channels and ranks."""
+        return self.channels * self.ranks_per_channel * self.rows_per_rank
+
+    @property
+    def rank_bytes(self) -> int:
+        """Capacity of one rank in bytes (16 GB in the baseline)."""
+        return self.rows_per_rank * self.row_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        """Total memory capacity in bytes."""
+        return self.total_rows * self.row_bytes
+
+    @property
+    def row_pointer_bits(self) -> int:
+        """Bits needed to name any row in a rank (21 for 2 M rows).
+
+        This is the width of the reverse pointers stored in the RPT
+        (Sec. IV-C).
+        """
+        return (self.rows_per_rank - 1).bit_length()
+
+    def bank_pointer_bits(self) -> int:
+        """Bits needed to name a bank within a rank."""
+        return (self.banks_per_rank - 1).bit_length()
+
+    def validate_row(self, row_id: int) -> None:
+        """Raise ``ValueError`` if ``row_id`` is outside the rank."""
+        if not 0 <= row_id < self.rows_per_rank:
+            raise ValueError(
+                f"row id {row_id} outside rank of {self.rows_per_rank} rows"
+            )
+
+
+DEFAULT_GEOMETRY = DramGeometry()
+"""The paper's baseline: 16 GB, 1 channel x 1 rank x 16 banks, 8 KB rows."""

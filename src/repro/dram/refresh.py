@@ -1,0 +1,61 @@
+"""Refresh scheduling and the 64 ms epoch abstraction.
+
+The AQUA paper defines an *epoch* as one refresh window (``tREFW``,
+64 ms).  Rowhammer safety is stated over this window: a row's charge is
+restored every 64 ms, so only activations inside one window can
+accumulate toward the Rowhammer threshold.  The tracker (ART) is reset
+at epoch boundaries, while the FPT/RPT drain lazily (Sec. IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.timing import DDR4Timing, DDR4_2400
+
+
+EPOCH_NS = DDR4_2400.trefw_ns
+"""Length of one epoch (refresh window) in nanoseconds: 64 ms."""
+
+
+@dataclass
+class RefreshScheduler:
+    """Track epoch boundaries and refresh overhead.
+
+    The memory controller must issue a refresh command every ``tREFI``
+    (7.8 us) and the rank is unavailable for ``tRFC`` (350 ns) each time.
+    The scheduler exposes both the epoch index for a given time and the
+    cumulative refresh-busy time, which the simulator folds into the
+    baseline memory time.
+    """
+
+    timing: DDR4Timing = field(default_factory=lambda: DDR4_2400)
+
+    def epoch_of(self, now_ns: float) -> int:
+        """Epoch index containing time ``now_ns``."""
+        if now_ns < 0:
+            raise ValueError("time must be non-negative")
+        return int(now_ns // self.timing.trefw_ns)
+
+    def epoch_start(self, epoch: int) -> float:
+        """Start time of ``epoch`` in nanoseconds."""
+        return epoch * self.timing.trefw_ns
+
+    def epoch_end(self, epoch: int) -> float:
+        """End time (exclusive) of ``epoch`` in nanoseconds."""
+        return (epoch + 1) * self.timing.trefw_ns
+
+    def time_into_epoch(self, now_ns: float) -> float:
+        """Nanoseconds elapsed since the current epoch began."""
+        return now_ns - self.epoch_start(self.epoch_of(now_ns))
+
+    def refresh_busy_ns(self, interval_ns: float) -> float:
+        """Refresh-induced busy time accumulated over ``interval_ns``."""
+        if interval_ns < 0:
+            raise ValueError("interval must be non-negative")
+        refreshes = interval_ns / self.timing.trefi_ns
+        return refreshes * self.timing.trfc_ns
+
+    def crossed_epoch(self, previous_ns: float, now_ns: float) -> bool:
+        """True if an epoch boundary lies in ``(previous, now]``."""
+        return self.epoch_of(previous_ns) != self.epoch_of(now_ns)

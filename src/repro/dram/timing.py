@@ -1,0 +1,101 @@
+"""DDR4 timing parameters and derived quantities.
+
+The values follow Table I of the AQUA paper (Micron MT40A2G4, DDR4-2400):
+
+==========================  =====================
+tRCD - tCL - tRP - tRC      14.2 - 14.2 - 14.2 - 45 ns
+tCCD_S, tCCD_L              3.3 ns, 5 ns
+tREFW (refresh window)      64 ms
+tREFI (refresh interval)    7.8 us
+tRFC (refresh cycle)        350 ns
+==========================  =====================
+
+Derived quantities reproduce the arithmetic in the paper:
+
+* ``act_max``  -- the maximum activations to one bank per refresh window,
+  ``tREFW * (1 - tRFC/tREFI) / tRC``, approximately 1.36 M (Sec. II-B).
+* ``row_transfer_ns`` -- time to stream one row between DRAM and the
+  copy-buffer: one activation (ACT-to-ACT delay, tRC) plus one 64-byte
+  line every tCCD_L for the whole row, approximately 685 ns for an 8 KB
+  row (Sec. IV-D).
+* ``migration_ns`` -- one row-read plus one row-write, about 1.37 us.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+MS = 1_000_000.0
+"""Nanoseconds per millisecond."""
+
+US = 1_000.0
+"""Nanoseconds per microsecond."""
+
+
+@dataclass(frozen=True)
+class DDR4Timing:
+    """Immutable set of DDR4 timing constants, in nanoseconds.
+
+    Attributes mirror JEDEC DDR4 parameter names.  All derived properties
+    are computed from these constants so that alternative speed grades can
+    be modelled by constructing a new instance.
+    """
+
+    trcd_ns: float = 14.2
+    tcl_ns: float = 14.2
+    trp_ns: float = 14.2
+    trc_ns: float = 45.0
+    tccd_s_ns: float = 3.3
+    tccd_l_ns: float = 5.0
+    trefw_ns: float = 64 * MS
+    trefi_ns: float = 7.8 * US
+    trfc_ns: float = 350.0
+    line_bytes: int = 64
+
+    @property
+    def refresh_availability(self) -> float:
+        """Fraction of the refresh window usable for activations.
+
+        The memory controller must issue a refresh every ``tREFI`` and the
+        bank is unavailable for ``tRFC`` each time.
+        """
+        return 1.0 - self.trfc_ns / self.trefi_ns
+
+    @property
+    def act_max(self) -> int:
+        """Maximum activations to a single bank within one refresh window.
+
+        Equation from Sec. II-B:
+        ``ACTmax = tREFW * (1 - tRFC/tREFI) / tRC`` (about 1.36 M).
+        """
+        return int(self.trefw_ns * self.refresh_availability / self.trc_ns)
+
+    def row_transfer_ns(self, row_bytes: int) -> float:
+        """Time to stream one DRAM row to/from the copy-buffer.
+
+        After the initial activation (tRC), one 64-byte line transfers
+        every ``tCCD_L``.  For an 8 KB row this is 45 + 128 * 5 = 685 ns
+        (Sec. IV-D).
+        """
+        lines = row_bytes // self.line_bytes
+        return self.trc_ns + lines * self.tccd_l_ns
+
+    def migration_ns(self, row_bytes: int) -> float:
+        """Latency of migrating one row: one row-read plus one row-write.
+
+        About 1.37 us for an 8 KB row (Sec. IV-D).
+        """
+        return 2.0 * self.row_transfer_ns(row_bytes)
+
+    def migration_with_eviction_ns(self, row_bytes: int) -> float:
+        """Latency when the destination RQA slot holds a stale valid row.
+
+        The old row is first moved back to its original location and the
+        new row is then moved in: 2 * 1.37 us = 2.74 us (Sec. IV-D).
+        """
+        return 2.0 * self.migration_ns(row_bytes)
+
+
+DDR4_2400 = DDR4Timing()
+"""The paper's baseline configuration (DDR4-2400, Micron MT40A2G4)."""

@@ -1,0 +1,36 @@
+"""Rowhammer mitigation schemes sharing one scheme interface.
+
+* :class:`~repro.mitigations.none.NoMitigation` -- the unprotected
+  baseline against which slowdowns are normalised.
+* :class:`~repro.core.aqua.AquaMitigation` -- the paper's contribution
+  (lives in :mod:`repro.core`).
+* :class:`~repro.mitigations.rrs.RandomizedRowSwap` -- RRS baseline.
+* :class:`~repro.mitigations.victim_refresh.VictimRefresh` -- classic
+  neighbour-refresh mitigation (vulnerable to Half-Double).
+* :class:`~repro.mitigations.blockhammer.Blockhammer` -- rate-limiting
+  baseline.
+* :mod:`~repro.mitigations.crow` -- analytical CROW model (Table V).
+"""
+
+from repro.mitigations.base import AccessResult, MitigationScheme
+from repro.mitigations.none import NoMitigation
+from repro.mitigations.rrs import RandomizedRowSwap
+from repro.mitigations.victim_refresh import VictimRefresh
+from repro.mitigations.blockhammer import Blockhammer
+from repro.mitigations.crow import CrowModel, crow_table_v
+from repro.mitigations.para import Para, recommended_probability
+from repro.mitigations.trr import TargetRowRefresh
+
+__all__ = [
+    "AccessResult",
+    "MitigationScheme",
+    "NoMitigation",
+    "RandomizedRowSwap",
+    "VictimRefresh",
+    "Blockhammer",
+    "CrowModel",
+    "crow_table_v",
+    "Para",
+    "recommended_probability",
+    "TargetRowRefresh",
+]

@@ -1,0 +1,201 @@
+"""Common interface for Rowhammer mitigation schemes.
+
+The memory controller drives every scheme the same way: for each row
+activation it calls :meth:`MitigationScheme.access` with the *logical*
+(software-visible) row and the current time, and receives back
+
+* the *physical* row the access was routed to (after any indirection),
+* extra channel-busy time imposed by mitigative actions (migrations,
+  victim refreshes, or rate-limit stalls), and
+* the physical rows the mitigation itself activated (so the security
+  ledger sees migration traffic too).
+
+Schemes own their tracker and their epoch housekeeping; the controller
+only needs to keep calling ``access`` with monotonically non-decreasing
+timestamps.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.dram.refresh import RefreshScheduler
+
+
+@dataclass
+class AccessResult:
+    """Outcome of routing one activation through a mitigation scheme."""
+
+    physical_row: int
+    lookup_ns: float = 0.0
+    busy_ns: float = 0.0
+    """Channel time consumed by mitigative action for this access."""
+    migrated: bool = False
+    evicted: bool = False
+    stalled_ns: float = 0.0
+    """Delay imposed on the *request itself* (Blockhammer throttling)."""
+    extra_activations: Tuple[int, ...] = ()
+    """Physical rows the mitigation *wrote* (migration destinations).
+
+    Migration source reads are excluded: they restore the departing
+    row's charge, like a refresh, so they are not attack-usable
+    activations of that row (the accounting behind Sec. VI-A's
+    invariant arithmetic)."""
+    refreshed_rows: Tuple[int, ...] = ()
+    """Physical rows the mitigation refreshed (victim-refresh schemes)."""
+    lookup_outcome: Optional[object] = None
+
+
+@dataclass
+class SchemeStats:
+    """Counters every scheme maintains."""
+
+    accesses: int = 0
+    migrations: int = 0
+    """Mitigative actions performed (quarantines for AQUA, swaps for RRS)."""
+    row_moves: int = 0
+    """Unit row transfers (one read + one write each)."""
+    evictions: int = 0
+    victim_refreshes: int = 0
+    busy_ns: float = 0.0
+    stall_ns: float = 0.0
+    epochs: int = 0
+
+
+class MitigationScheme(abc.ABC):
+    """Base class: epoch bookkeeping plus the ``access`` contract."""
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.stats = SchemeStats()
+        self.refresh = RefreshScheduler()
+        self.current_epoch = 0
+
+    @abc.abstractmethod
+    def _translate(self, logical_row: int) -> Tuple[int, float, Optional[object]]:
+        """Map a logical row to (physical row, lookup ns, outcome)."""
+
+    @abc.abstractmethod
+    def _mitigate(
+        self, logical_row: int, physical_row: int, now_ns: float
+    ) -> AccessResult:
+        """Perform the scheme's mitigative action for a flagged row."""
+
+    @abc.abstractmethod
+    def _observe(self, physical_row: int) -> bool:
+        """Feed the tracker; return True when mitigation must fire."""
+
+    def _end_epoch(self, new_epoch: int) -> None:
+        """Hook for epoch-boundary housekeeping (tracker reset etc.)."""
+        self.current_epoch = new_epoch
+        self.stats.epochs += 1
+
+    def _sync_epoch(self, now_ns: float) -> None:
+        epoch = self.refresh.epoch_of(now_ns)
+        if epoch != self.current_epoch:
+            self._end_epoch(epoch)
+
+    def access(self, logical_row: int, now_ns: float) -> AccessResult:
+        """Route one activation of ``logical_row`` at time ``now_ns``."""
+        self._sync_epoch(now_ns)
+        self.stats.accesses += 1
+        physical, lookup_ns, outcome = self._translate(logical_row)
+        if self._observe(physical):
+            result = self._mitigate(logical_row, physical, now_ns)
+        else:
+            result = AccessResult(physical_row=physical)
+        result.lookup_ns = lookup_ns
+        result.lookup_outcome = outcome
+        self.stats.busy_ns += result.busy_ns
+        self.stats.stall_ns += result.stalled_ns
+        return result
+
+    # ------------------------------------------------------------ batch path
+
+    def _translate_batch(
+        self, logical_row: int, n: int
+    ) -> Tuple[int, float, Optional[object]]:
+        """Batch translation hook; defaults to a single lookup.
+
+        Schemes with lookup-statistics backends (AQUA's memory-mapped
+        tables) override this to weight their counters by ``n``.
+        """
+        return self._translate(logical_row)
+
+    def _observe_batch(self, physical_row: int, n: int) -> int:
+        """Feed ``n`` activations to the tracker; return crossings.
+
+        The default uses the scheme's ``tracker`` attribute when present
+        (all tracker-based schemes), else loops over ``_observe``.
+        """
+        tracker = getattr(self, "tracker", None)
+        if tracker is not None:
+            return tracker.observe_batch(physical_row, n)
+        return sum(1 for _ in range(n) if self._observe(physical_row))
+
+    def access_batch(
+        self, logical_row: int, n: int, now_ns: float
+    ) -> AccessResult:
+        """Route ``n`` back-to-back activations of ``logical_row``.
+
+        Equivalent to ``n`` calls to :meth:`access` up to intra-batch
+        interleaving (the performance sweeps use batches far smaller
+        than any mitigation threshold, so at most one crossing occurs
+        per batch in practice).
+        """
+        if n < 1:
+            raise ValueError("batch size must be >= 1")
+        self._sync_epoch(now_ns)
+        self.stats.accesses += n
+        physical, lookup_ns, outcome = self._translate_batch(logical_row, n)
+        crossings = self._observe_batch(physical, n)
+        if crossings == 0:
+            result = AccessResult(physical_row=physical)
+        else:
+            busy = 0.0
+            stall = 0.0
+            extras: list = []
+            refreshed: list = []
+            evicted = False
+            for _ in range(crossings):
+                step = self._mitigate(logical_row, physical, now_ns)
+                busy += step.busy_ns
+                stall += step.stalled_ns
+                extras.extend(step.extra_activations)
+                refreshed.extend(step.refreshed_rows)
+                evicted = evicted or step.evicted
+                physical = step.physical_row
+            result = AccessResult(
+                physical_row=physical,
+                busy_ns=busy,
+                stalled_ns=stall,
+                migrated=True,
+                evicted=evicted,
+                extra_activations=tuple(extras),
+                refreshed_rows=tuple(refreshed),
+            )
+        result.lookup_ns = lookup_ns
+        result.lookup_outcome = outcome
+        self.stats.busy_ns += result.busy_ns
+        self.stats.stall_ns += result.stalled_ns
+        return result
+
+    def table_dram_busy_ns(self) -> float:
+        """Channel time consumed by in-DRAM mapping-table accesses."""
+        return 0.0
+
+    @property
+    @abc.abstractmethod
+    def visible_rows(self) -> int:
+        """Number of software-visible rows under this scheme."""
+
+    def sram_bytes(self) -> int:
+        """SRAM footprint of the scheme's mapping structures (not tracker)."""
+        return 0
+
+    def migrations_this_run(self) -> int:
+        """Total mitigative actions since construction."""
+        return self.stats.migrations

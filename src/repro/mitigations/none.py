@@ -1,0 +1,41 @@
+"""Unprotected baseline: identity mapping, no tracker, no mitigation.
+
+Used as the normalisation point for every slowdown figure, and as the
+control in security experiments (attacks *should* succeed against it).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.mitigations.base import AccessResult, MitigationScheme
+
+
+class NoMitigation(MitigationScheme):
+    """A scheme that routes every access straight through."""
+
+    name = "baseline"
+
+    def __init__(self, total_rows: int = 2 * 1024 * 1024) -> None:
+        super().__init__()
+        self.total_rows = total_rows
+
+    @property
+    def visible_rows(self) -> int:
+        return self.total_rows
+
+    def _translate(self, logical_row: int) -> Tuple[int, float, Optional[object]]:
+        if not 0 <= logical_row < self.total_rows:
+            raise ValueError(f"row {logical_row} outside memory")
+        return logical_row, 0.0, None
+
+    def _observe(self, physical_row: int) -> bool:
+        return False
+
+    def _observe_batch(self, physical_row: int, n: int) -> int:
+        return 0
+
+    def _mitigate(
+        self, logical_row: int, physical_row: int, now_ns: float
+    ) -> AccessResult:  # pragma: no cover - never reached
+        raise AssertionError("NoMitigation never mitigates")

@@ -1,0 +1,99 @@
+"""PARA: Probabilistic Adjacent Row Activation (Kim et al., ISCA 2014).
+
+The original trackerless mitigation: on *every* activation, with a
+small probability ``p``, refresh one neighbour of the activated row.
+An aggressor hammered ``A`` times leaves each neighbour un-refreshed
+with probability ``(1 - p/2)^A``, which is negligible for
+``p ~ 0.001`` at classic thresholds -- but the guarantee is
+probabilistic, weakens as ``T_RH`` falls (fewer activations per attack,
+fewer refresh chances), and, being victim-refresh based, PARA inherits
+the Half-Double exposure (its refreshes hammer rows one step further
+out).
+
+Included as the classic point of comparison in the victim-refresh
+family (Sec. II-D / VII-A context).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+from repro.dram.address import AddressMapper
+from repro.dram.geometry import DramGeometry, DEFAULT_GEOMETRY
+from repro.dram.timing import DDR4Timing, DDR4_2400
+from repro.mitigations.base import AccessResult, MitigationScheme
+
+
+def recommended_probability(rowhammer_threshold: int, target_failures: float = 1e-15) -> float:
+    """Refresh probability for a desired per-window failure bound.
+
+    Solves ``(1 - p/2)^T <= target`` for ``p``: the chance that a row
+    hammered ``T`` times never triggers a neighbour refresh.
+    """
+    if rowhammer_threshold < 1:
+        raise ValueError("threshold must be >= 1")
+    if not 0 < target_failures < 1:
+        raise ValueError("target_failures must be in (0, 1)")
+    # (1 - p/2)^T = target  ->  p = 2 * (1 - target^(1/T))
+    return min(1.0, 2.0 * (1.0 - target_failures ** (1.0 / rowhammer_threshold)))
+
+
+class Para(MitigationScheme):
+    """Trackerless probabilistic neighbour refresh."""
+
+    name = "para"
+
+    def __init__(
+        self,
+        rowhammer_threshold: int = 1000,
+        geometry: DramGeometry = DEFAULT_GEOMETRY,
+        timing: DDR4Timing = DDR4_2400,
+        probability: Optional[float] = None,
+        seed: int = 0xBA5E,
+    ) -> None:
+        super().__init__()
+        self.geometry = geometry
+        self.timing = timing
+        self.rowhammer_threshold = rowhammer_threshold
+        self.probability = (
+            probability
+            if probability is not None
+            else recommended_probability(rowhammer_threshold)
+        )
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError("probability must be in (0, 1]")
+        self.mapper = AddressMapper(geometry)
+        self._rng = random.Random(seed)
+
+    @property
+    def visible_rows(self) -> int:
+        return self.geometry.rows_per_rank
+
+    def _translate(self, logical_row: int) -> Tuple[int, float, Optional[object]]:
+        if not 0 <= logical_row < self.visible_rows:
+            raise ValueError(f"row {logical_row} outside memory")
+        return logical_row, 0.0, None
+
+    def _observe(self, physical_row: int) -> bool:
+        # No tracker: each activation independently rolls the dice.
+        return self._rng.random() < self.probability
+
+    def _mitigate(
+        self, logical_row: int, physical_row: int, now_ns: float
+    ) -> AccessResult:
+        neighbors = self.mapper.neighbors(physical_row)
+        victim = neighbors[self._rng.randrange(len(neighbors))]
+        self.stats.victim_refreshes += 1
+        self.stats.migrations += 1
+        return AccessResult(
+            physical_row=physical_row,
+            busy_ns=self.timing.trc_ns,
+            refreshed_rows=(victim,),
+        )
+
+    def _observe_batch(self, physical_row: int, n: int) -> int:
+        # Binomially distributed refresh count over the batch.
+        return sum(
+            1 for _ in range(n) if self._rng.random() < self.probability
+        )

@@ -1,0 +1,103 @@
+"""TRR: in-DRAM Target Row Refresh, and why TRRespass defeats it.
+
+Production "TRR" implementations (as reverse-engineered by TRRespass,
+Frigo et al. 2020 [7]) keep only a handful of per-bank sampler entries
+and refresh the neighbours of sampled aggressors during refresh
+commands.  With N sampler entries, a pattern hammering more than N
+aggressor rows in a bank cycles the sampler: some aggressor always
+escapes sampling, and its victims never get refreshed -- the
+*many-sided* TRRespass bypass.
+
+This model captures exactly that failure mode: a small FIFO-ish sampler
+of ``sampler_entries`` rows per bank, neighbour refreshes issued every
+``refresh_burst`` activations for the currently-sampled rows.  It is
+the motivating contrast for principled trackers (Graphene/Misra-Gries)
+and, ultimately, for migration-based mitigation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from repro.dram.address import AddressMapper
+from repro.dram.geometry import DramGeometry, DEFAULT_GEOMETRY
+from repro.dram.timing import DDR4Timing, DDR4_2400
+from repro.mitigations.base import AccessResult, MitigationScheme
+
+
+class TargetRowRefresh(MitigationScheme):
+    """Sampler-based in-DRAM victim refresh (TRR)."""
+
+    name = "trr"
+
+    def __init__(
+        self,
+        geometry: DramGeometry = DEFAULT_GEOMETRY,
+        timing: DDR4Timing = DDR4_2400,
+        sampler_entries: int = 4,
+        refresh_burst: int = 64,
+    ) -> None:
+        super().__init__()
+        if sampler_entries < 1:
+            raise ValueError("sampler_entries must be >= 1")
+        if refresh_burst < 1:
+            raise ValueError("refresh_burst must be >= 1")
+        self.geometry = geometry
+        self.timing = timing
+        self.sampler_entries = sampler_entries
+        self.refresh_burst = refresh_burst
+        self.mapper = AddressMapper(geometry)
+        # Per-bank sampler: insertion-ordered row -> activation count.
+        self._samplers: Dict[int, OrderedDict] = {
+            bank: OrderedDict() for bank in range(geometry.banks_per_rank)
+        }
+        self._since_refresh = 0
+
+    @property
+    def visible_rows(self) -> int:
+        return self.geometry.rows_per_rank
+
+    def _translate(self, logical_row: int) -> Tuple[int, float, Optional[object]]:
+        if not 0 <= logical_row < self.visible_rows:
+            raise ValueError(f"row {logical_row} outside memory")
+        return logical_row, 0.0, None
+
+    def _observe(self, physical_row: int) -> bool:
+        sampler = self._samplers[self.mapper.bank_of(physical_row)]
+        if physical_row in sampler:
+            sampler[physical_row] += 1
+        else:
+            # FIFO replacement: a stream of more distinct aggressors
+            # than entries cycles the sampler (the TRRespass weakness).
+            if len(sampler) >= self.sampler_entries:
+                sampler.popitem(last=False)
+            sampler[physical_row] = 1
+        self._since_refresh += 1
+        if self._since_refresh >= self.refresh_burst:
+            self._since_refresh = 0
+            return True
+        return False
+
+    def _mitigate(
+        self, logical_row: int, physical_row: int, now_ns: float
+    ) -> AccessResult:
+        # At each refresh opportunity, TRR refreshes the neighbours of
+        # the hottest currently-sampled row in the accessed bank.
+        sampler = self._samplers[self.mapper.bank_of(physical_row)]
+        if not sampler:
+            return AccessResult(physical_row=physical_row)
+        target = max(sampler, key=sampler.get)
+        sampler[target] = 0
+        victims = tuple(self.mapper.neighbors(target))
+        self.stats.victim_refreshes += len(victims)
+        self.stats.migrations += 1
+        return AccessResult(
+            physical_row=physical_row,
+            busy_ns=len(victims) * self.timing.trc_ns,
+            refreshed_rows=victims,
+        )
+
+    def sampled_rows(self, bank: int) -> list:
+        """Rows currently tracked by ``bank``'s sampler (for tests)."""
+        return list(self._samplers[bank])

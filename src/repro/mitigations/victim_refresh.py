@@ -1,0 +1,102 @@
+"""Victim-refresh mitigation (Graphene-style) -- the vulnerable baseline.
+
+When the tracker flags an aggressor, the rows physically adjacent to it
+(at the configured blast radius) are refreshed, restoring their charge
+(Sec. II-D).  This defeats classic single/double-sided Rowhammer but has
+two pitfalls the paper highlights (Table IV):
+
+* It requires knowing the DRAM-internal row adjacency (``AddressMapper``
+  here plays the role of that proprietary knowledge).
+* The refreshes themselves are row activations, so they *hammer the
+  victims' own neighbours*: the Half-Double attack turns the mitigation
+  into an amplifier against rows at distance 2 from the aggressor.  The
+  security oracle (:mod:`repro.analysis.security`) counts refreshes
+  issued by this scheme as activations of the refreshed row, which is
+  exactly the physics Half-Double exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.dram.address import AddressMapper
+from repro.dram.geometry import DramGeometry, DEFAULT_GEOMETRY
+from repro.dram.timing import DDR4Timing, DDR4_2400
+from repro.mitigations.base import AccessResult, MitigationScheme
+from repro.trackers import MisraGriesTracker
+
+
+class VictimRefresh(MitigationScheme):
+    """Refresh rows adjacent to a flagged aggressor."""
+
+    name = "victim-refresh"
+
+    def __init__(
+        self,
+        rowhammer_threshold: int = 1000,
+        geometry: DramGeometry = DEFAULT_GEOMETRY,
+        timing: DDR4Timing = DDR4_2400,
+        blast_radius: int = 1,
+        tracker_entries_per_bank: Optional[int] = None,
+        mapper: Optional[AddressMapper] = None,
+        knows_mapping: bool = True,
+    ) -> None:
+        super().__init__()
+        if blast_radius < 1:
+            raise ValueError("blast_radius must be >= 1")
+        self.geometry = geometry
+        self.timing = timing
+        self.blast_radius = blast_radius
+        self.rowhammer_threshold = rowhammer_threshold
+        #: Whether the memory controller knows the DRAM-internal row
+        #: order.  Vendors do not disclose it (Table IV): without it,
+        #: the defense refreshes the rows it *assumes* are adjacent,
+        #: which under a scrambled mapping are the wrong rows.
+        self.knows_mapping = knows_mapping
+        # Same epoch-reset compensation as AQUA: trigger at T_RH / 2.
+        self.threshold = max(1, rowhammer_threshold // 2)
+        banks = geometry.banks_per_rank
+        self.mapper = mapper if mapper is not None else AddressMapper(geometry)
+        self.tracker = MisraGriesTracker(
+            self.threshold,
+            num_banks=banks,
+            bank_of=self.mapper.bank_of,
+            entries_per_bank=tracker_entries_per_bank,
+        )
+
+    @property
+    def visible_rows(self) -> int:
+        return self.geometry.rows_per_rank
+
+    def _translate(self, logical_row: int) -> Tuple[int, float, Optional[object]]:
+        if not 0 <= logical_row < self.visible_rows:
+            raise ValueError(f"row {logical_row} outside memory")
+        return logical_row, 0.0, None
+
+    def _observe(self, physical_row: int) -> bool:
+        return self.tracker.observe(physical_row)
+
+    def _mitigate(
+        self, logical_row: int, physical_row: int, now_ns: float
+    ) -> AccessResult:
+        victims = []
+        neighbor_fn = (
+            self.mapper.neighbors
+            if self.knows_mapping
+            else self.mapper.assumed_neighbors
+        )
+        for distance in range(1, self.blast_radius + 1):
+            victims.extend(neighbor_fn(physical_row, distance))
+        self.stats.victim_refreshes += len(victims)
+        self.stats.migrations += 1
+        # Each victim refresh is one row activation's worth of bank time.
+        busy = len(victims) * self.timing.trc_ns
+        return AccessResult(
+            physical_row=physical_row,
+            busy_ns=busy,
+            refreshed_rows=tuple(victims),
+        )
+
+    def _end_epoch(self, new_epoch: int) -> None:
+        super()._end_epoch(new_epoch)
+        self.tracker.reset()

@@ -1,0 +1,62 @@
+"""Analytic CPU slowdown model.
+
+The paper's slowdown (Sec. IV-G) is dominated by channel time stolen by
+row migrations, plus (for memory-mapped tables) in-DRAM table traffic,
+plus (for Blockhammer) per-row throttling stalls.  We convert the
+channel time a mitigation consumes into IPC loss with a standard
+memory-boundness coupling::
+
+    execution_time = t_cpu + t_mem
+    slowdown       = 1 + mem_fraction * (extra_memory_time / wall_time)
+
+``mem_fraction`` is the MPKI-derived fraction of the workload's
+execution time that dilates with memory time
+(:func:`repro.workloads.trace.memory_boundness`).  Mitigation busy time
+is measured by simulation; the wall time is the simulated interval, so
+``extra_memory_time / wall_time`` is the extra channel utilisation the
+mitigation imposes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+def slowdown_from_busy(
+    mem_fraction: float,
+    mitigation_busy_ns: float,
+    wall_ns: float,
+    table_dram_ns: float = 0.0,
+    peak_stall_ns: float = 0.0,
+) -> float:
+    """IPC-normalised slowdown (1.0 = no loss).
+
+    ``mitigation_busy_ns`` is channel time blocked by migrations or
+    refreshes; ``table_dram_ns`` is in-DRAM mapping-table traffic;
+    ``peak_stall_ns`` is the worst per-row serialised throttle delay
+    (Blockhammer), which stretches the critical path directly.
+    """
+    if not 0.0 <= mem_fraction <= 1.0:
+        raise ValueError("mem_fraction must be in [0, 1]")
+    if wall_ns <= 0:
+        raise ValueError("wall time must be positive")
+    extra = mitigation_busy_ns + table_dram_ns + peak_stall_ns
+    return 1.0 + mem_fraction * (extra / wall_ns)
+
+
+def normalized_performance(slowdown: float) -> float:
+    """Performance normalised to baseline (the y-axis of Figs. 7 and 9)."""
+    if slowdown <= 0:
+        raise ValueError("slowdown must be positive")
+    return 1.0 / slowdown
+
+
+def gmean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper reports Gmean-34 across workloads)."""
+    values = list(values)
+    if not values:
+        raise ValueError("gmean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("gmean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,141 @@
+"""Experiment runner: scheme factories, suite sweeps, and aggregates.
+
+This is the layer the benchmarks and examples drive: build a fresh
+scheme per workload, run the 18 SPEC + 16 mix workloads (Sec. III),
+and aggregate with geometric means, exactly as the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.aqua import AquaMitigation
+from repro.core.config import AquaConfig
+from repro.mitigations.base import MitigationScheme
+from repro.mitigations.blockhammer import Blockhammer
+from repro.mitigations.none import NoMitigation
+from repro.mitigations.rrs import RandomizedRowSwap
+from repro.mitigations.victim_refresh import VictimRefresh
+from repro.sim.cpu import gmean
+from repro.sim.stats import WorkloadResult
+from repro.sim.system import SystemSimulator
+from repro.workloads.mixes import all_mixes
+from repro.workloads.spec import workload
+from repro.workloads.table2 import SPEC_NAMES
+
+
+SchemeFactory = Callable[[], MitigationScheme]
+
+
+def aqua_sram(rowhammer_threshold: int = 1000, **kwargs) -> SchemeFactory:
+    """Factory: AQUA with SRAM tables (Sec. IV)."""
+
+    def build() -> MitigationScheme:
+        return AquaMitigation(
+            AquaConfig(
+                rowhammer_threshold=rowhammer_threshold,
+                table_mode="sram",
+                **kwargs,
+            )
+        )
+
+    return build
+
+
+def aqua_memory_mapped(
+    rowhammer_threshold: int = 1000, **kwargs
+) -> SchemeFactory:
+    """Factory: AQUA with memory-mapped tables (Sec. V)."""
+
+    def build() -> MitigationScheme:
+        return AquaMitigation(
+            AquaConfig(
+                rowhammer_threshold=rowhammer_threshold,
+                table_mode="memory-mapped",
+                **kwargs,
+            )
+        )
+
+    return build
+
+
+def rrs(rowhammer_threshold: int = 1000, **kwargs) -> SchemeFactory:
+    """Factory: Randomized Row-Swap at the given threshold."""
+
+    def build() -> MitigationScheme:
+        return RandomizedRowSwap(
+            rowhammer_threshold=rowhammer_threshold, **kwargs
+        )
+
+    return build
+
+
+def blockhammer(rowhammer_threshold: int = 1000, **kwargs) -> SchemeFactory:
+    """Factory: Blockhammer rate-limiting."""
+
+    def build() -> MitigationScheme:
+        return Blockhammer(rowhammer_threshold=rowhammer_threshold, **kwargs)
+
+    return build
+
+
+def victim_refresh(rowhammer_threshold: int = 1000, **kwargs) -> SchemeFactory:
+    """Factory: classic victim refresh."""
+
+    def build() -> MitigationScheme:
+        return VictimRefresh(
+            rowhammer_threshold=rowhammer_threshold, **kwargs
+        )
+
+    return build
+
+
+def baseline() -> SchemeFactory:
+    """Factory: unprotected baseline."""
+    return NoMitigation
+
+
+def all_workloads(spec_only: bool = False) -> List:
+    """The paper's evaluation set: 18 SPEC + 16 mixes (34 workloads)."""
+    workloads = [workload(name) for name in SPEC_NAMES]
+    if not spec_only:
+        workloads.extend(all_mixes())
+    return workloads
+
+
+def run_workload(
+    factory: SchemeFactory, target, epochs: int = 2
+) -> WorkloadResult:
+    """Run one workload on a freshly built scheme."""
+    simulator = SystemSimulator(factory())
+    return simulator.run(target, epochs=epochs)
+
+
+def run_suite(
+    factory: SchemeFactory,
+    workloads: Optional[List] = None,
+    epochs: int = 2,
+) -> Dict[str, WorkloadResult]:
+    """Run a scheme across a workload list (default: all 34)."""
+    if workloads is None:
+        workloads = all_workloads()
+    return {
+        target.name: run_workload(factory, target, epochs=epochs)
+        for target in workloads
+    }
+
+
+def gmean_slowdown(results: Dict[str, WorkloadResult]) -> float:
+    """Geometric-mean slowdown across a suite (the paper's Gmean-34)."""
+    return gmean([result.slowdown for result in results.values()])
+
+
+def average_migrations_per_epoch(
+    results: Dict[str, WorkloadResult],
+) -> float:
+    """Arithmetic-mean mitigations per 64 ms (Fig. 6's 'Average' bar)."""
+    if not results:
+        raise ValueError("no results")
+    return sum(
+        result.migrations_per_epoch for result in results.values()
+    ) / len(results)

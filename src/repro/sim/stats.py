@@ -1,0 +1,51 @@
+"""Result records produced by the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of running one workload under one mitigation scheme."""
+
+    workload: str
+    scheme: str
+    epochs: int
+    activations: int
+    migrations: int
+    row_moves: int
+    evictions: int
+    busy_ns: float
+    table_dram_ns: float
+    peak_stall_ns: float
+    slowdown: float
+    mem_fraction: float
+    lookup_breakdown: Optional[Dict[str, float]] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def migrations_per_epoch(self) -> float:
+        """Mitigative actions per 64 ms (the y-axis of Fig. 6)."""
+        if self.epochs == 0:
+            return 0.0
+        return self.migrations / self.epochs
+
+    @property
+    def normalized_performance(self) -> float:
+        """Performance relative to baseline (Figs. 7 and 9)."""
+        return 1.0 / self.slowdown
+
+    @property
+    def percent_slowdown(self) -> float:
+        """Slowdown expressed as a percentage loss."""
+        return (self.slowdown - 1.0) * 100.0
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.workload:>10s} [{self.scheme}] "
+            f"slowdown={self.percent_slowdown:6.2f}% "
+            f"migrations/epoch={self.migrations_per_epoch:9.1f}"
+        )

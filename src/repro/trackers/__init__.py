@@ -1,0 +1,37 @@
+"""Aggressor-row trackers (the ART of Fig. 4).
+
+AQUA is compatible with any hardware tracker; this package provides the
+three designs discussed in the paper:
+
+* :class:`~repro.trackers.misra_gries.MisraGriesTracker` -- the default
+  per-bank Misra-Gries summary used by Graphene and RRS (Sec. IV-B).
+* :class:`~repro.trackers.hydra.HydraTracker` -- the storage-optimised
+  hybrid SRAM/DRAM tracker (Appendix B).
+* :class:`~repro.trackers.exact.ExactTracker` -- an idealised per-row
+  counter tracker (used for the Blockhammer comparison, Sec. VII-B).
+
+All trackers share the :class:`~repro.trackers.base.AggressorTracker`
+interface: ``observe(row)`` is called once per activation with the
+*physical* row address (after FPT translation, security property P3) and
+returns ``True`` whenever that row crosses a multiple of the effective
+threshold within the current epoch.
+"""
+
+from repro.trackers.base import AggressorTracker, PerBankTracker
+from repro.trackers.misra_gries import MisraGriesBank, MisraGriesTracker
+from repro.trackers.exact import ExactTracker
+from repro.trackers.hydra import HydraTracker
+from repro.trackers.per_row import PerRowCounterTracker
+from repro.trackers.cbf import CountingBloomFilter, RowBlocker
+
+__all__ = [
+    "AggressorTracker",
+    "PerBankTracker",
+    "MisraGriesBank",
+    "MisraGriesTracker",
+    "ExactTracker",
+    "HydraTracker",
+    "PerRowCounterTracker",
+    "CountingBloomFilter",
+    "RowBlocker",
+]

@@ -1,0 +1,106 @@
+"""Tracker interface shared by every ART implementation.
+
+The tracker contract, from the paper's security argument (Sec. VI-A,
+property P1): the tracker must flag a row every time it crosses a
+multiple of the *effective threshold* ``T = T_RH / 2`` within one epoch,
+so that across the at-most-two tracking epochs that span any refresh
+window, a row never reaches ``T_RH`` activations without a mitigation.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict
+
+
+class AggressorTracker(abc.ABC):
+    """Abstract aggressor-row tracker (the ART)."""
+
+    def __init__(self, threshold: int) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        self.observations = 0
+        self.triggers = 0
+
+    @abc.abstractmethod
+    def observe(self, row_id: int) -> bool:
+        """Record one activation of *physical* row ``row_id``.
+
+        Returns ``True`` if this activation makes the row's (estimated)
+        count reach a multiple of the effective threshold, i.e. the
+        mitigation must quarantine/swap the row now.
+        """
+
+    def observe_batch(self, row_id: int, count: int) -> int:
+        """Record ``count`` back-to-back activations of ``row_id``.
+
+        Returns the number of threshold crossings.  The default loops
+        over :meth:`observe`; subclasses override with O(1) batch math
+        for the performance sweeps.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return sum(1 for _ in range(count) if self.observe(row_id))
+
+    @abc.abstractmethod
+    def estimate(self, row_id: int) -> int:
+        """Current estimated activation count for ``row_id`` (0 if untracked)."""
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Clear all counts at an epoch boundary."""
+
+    def note_trigger(self) -> None:
+        """Bump the trigger statistic (called by subclasses)."""
+        self.triggers += 1
+
+
+class PerBankTracker(AggressorTracker):
+    """Compose one tracker instance per bank into a rank-level ART.
+
+    Graphene (and hence RRS and AQUA) provision the Misra-Gries summary
+    per bank, because the activation budget ``ACTmax`` is a per-bank
+    bound.  ``bank_of`` maps a physical row id to its bank.
+    """
+
+    def __init__(
+        self,
+        threshold: int,
+        num_banks: int,
+        bank_of: Callable[[int], int],
+        factory: Callable[[int], AggressorTracker],
+    ) -> None:
+        super().__init__(threshold)
+        if num_banks < 1:
+            raise ValueError("num_banks must be >= 1")
+        self._bank_of = bank_of
+        self._banks: Dict[int, AggressorTracker] = {
+            bank: factory(threshold) for bank in range(num_banks)
+        }
+
+    def observe(self, row_id: int) -> bool:
+        self.observations += 1
+        triggered = self._banks[self._bank_of(row_id)].observe(row_id)
+        if triggered:
+            self.note_trigger()
+        return triggered
+
+    def observe_batch(self, row_id: int, count: int) -> int:
+        self.observations += count
+        crossings = self._banks[self._bank_of(row_id)].observe_batch(
+            row_id, count
+        )
+        self.triggers += crossings
+        return crossings
+
+    def estimate(self, row_id: int) -> int:
+        return self._banks[self._bank_of(row_id)].estimate(row_id)
+
+    def reset(self) -> None:
+        for tracker in self._banks.values():
+            tracker.reset()
+
+    def bank_tracker(self, bank: int) -> AggressorTracker:
+        """The underlying tracker for ``bank`` (for tests/inspection)."""
+        return self._banks[bank]

@@ -1,0 +1,59 @@
+"""Exact per-row activation tracker.
+
+An idealised tracker with one counter per row, equivalent to CRA-style
+per-row counters with no estimation error.  The paper uses an ideal
+tracker for its Blockhammer evaluation (Sec. VII-B); we also use it as
+the ground-truth oracle in tests (the Misra-Gries summary must never
+report a count *lower* than this tracker).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+
+from repro.trackers.base import AggressorTracker
+
+
+class ExactTracker(AggressorTracker):
+    """One exact counter per row; triggers at every threshold multiple."""
+
+    def __init__(self, threshold: int) -> None:
+        super().__init__(threshold)
+        self._counts: Counter = Counter()
+
+    def observe(self, row_id: int) -> bool:
+        self.observations += 1
+        self._counts[row_id] += 1
+        triggered = self._counts[row_id] % self.threshold == 0
+        if triggered:
+            self.note_trigger()
+        return triggered
+
+    def observe_batch(self, row_id: int, count: int) -> int:
+        """Count all threshold multiples crossed by ``count`` activations."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return 0
+        self.observations += count
+        before = self._counts[row_id]
+        after = before + count
+        self._counts[row_id] = after
+        crossings = after // self.threshold - before // self.threshold
+        self.triggers += crossings
+        return crossings
+
+    def estimate(self, row_id: int) -> int:
+        return self._counts[row_id]
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def rows_at_or_above(self, count: int) -> int:
+        """Number of rows with at least ``count`` activations this epoch."""
+        return sum(1 for value in self._counts.values() if value >= count)
+
+    def max_count(self) -> int:
+        """Highest per-row activation count this epoch (0 if none)."""
+        return max(self._counts.values(), default=0)

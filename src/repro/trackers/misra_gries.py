@@ -1,0 +1,209 @@
+"""Misra-Gries (Graphene-style) aggressor tracker.
+
+This is the default ART of the paper (Sec. IV-B): a per-bank Misra-Gries
+frequent-item summary with a spill counter, as used by Graphene and RRS.
+
+Semantics, per activation of row ``r``:
+
+1. If ``r`` has an entry, increment its counter.
+2. Else if a slot is free, install ``r`` with count ``spill + 1``.
+3. Else increment the spill counter; if the spill counter reaches the
+   minimum entry count, evict a minimum entry and install ``r`` with
+   count ``spill + 1``.
+
+A row fires a mitigation whenever its estimate reaches its *next
+trigger point* (every ``threshold`` estimated activations).  Two
+faithful artefacts of this design matter to the evaluation:
+
+* **Guaranteed detection**: Misra-Gries never under-counts, so a row
+  reaching the threshold is always flagged (security property P1).
+* **Spurious mitigations** (Sec. IV-F): a newly installed row inherits
+  ``spill + 1`` as its estimate; under streaming workloads with many
+  distinct rows (e.g. ``imagick``) the spill counter itself can exceed
+  the threshold, so a brand-new row fires a mitigation immediately,
+  without ever having been activated ``threshold`` times.
+
+The number of entries follows Graphene's provisioning: a bank can issue
+at most ``ACTmax`` activations per epoch, so at most ``ACTmax / T`` rows
+can truly cross the threshold ``T``, and that many entries suffice.
+
+Implementation notes: counters live in frequency buckets (the classic
+LFU structure) so every operation is O(1) amortised, and
+:meth:`MisraGriesBank.observe_batch` folds ``n`` back-to-back
+activations of one row into O(1) work -- the simulator feeds tens of
+millions of activations through this code.  The minimum-bucket pointer
+only moves up within an epoch (counts only grow, and installs never
+land below the previous minimum), keeping the walk-up amortised
+constant.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.dram.timing import DDR4_2400
+from repro.trackers.base import AggressorTracker, PerBankTracker
+
+
+def graphene_entries(threshold: int, act_max: int = None) -> int:
+    """Number of Misra-Gries entries per bank for a given threshold.
+
+    Graphene provisions ``ACTmax / T`` entries so that every row that can
+    reach ``T`` activations in an epoch has a dedicated counter.
+    """
+    if act_max is None:
+        act_max = DDR4_2400.act_max
+    if threshold < 1:
+        raise ValueError("threshold must be >= 1")
+    return max(1, act_max // threshold)
+
+
+class MisraGriesBank(AggressorTracker):
+    """Misra-Gries summary for one bank."""
+
+    def __init__(self, threshold: int, capacity: int = None) -> None:
+        super().__init__(threshold)
+        if capacity is None:
+            capacity = graphene_entries(threshold)
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.spill = 0
+        self._counts: Dict[int, int] = {}
+        # Frequency buckets: count -> {row: None} (dict used as an
+        # ordered set for O(1) membership and pop).
+        self._buckets: Dict[int, Dict[int, None]] = {}
+        self._min_count = 0
+        self.spurious_installs = 0
+
+    # ------------------------------------------------------------- internals
+
+    def _bucket_add(self, row_id: int, count: int) -> None:
+        self._buckets.setdefault(count, {})[row_id] = None
+
+    def _bucket_remove(self, row_id: int, count: int) -> None:
+        bucket = self._buckets[count]
+        del bucket[row_id]
+        if not bucket:
+            del self._buckets[count]
+
+    def _advance_min(self) -> None:
+        """Move the min pointer up to the next non-empty bucket."""
+        while self._counts and self._min_count not in self._buckets:
+            self._min_count += 1
+
+    def _crossings(self, old: int, new: int) -> int:
+        """Multiples of the threshold crossed moving from old to new."""
+        return new // self.threshold - old // self.threshold
+
+    def _install(self, row_id: int, base: int, count: int) -> int:
+        """Install ``row_id`` at estimate ``count``; return crossings.
+
+        ``base`` is the estimate's starting context (the spill value the
+        entry inherited): a mitigation fires only if the estimate
+        *crossed* a threshold multiple on the way from ``base`` to
+        ``count``, matching Graphene's multiple-of-T trigger rule.  When
+        ``count`` itself exceeds the threshold, any such firing is a
+        spurious mitigation (Sec. IV-F): the row never truly received
+        ``threshold`` activations.
+        """
+        self._counts[row_id] = count
+        self._bucket_add(row_id, count)
+        if len(self._counts) == 1 or count < self._min_count:
+            self._min_count = count
+        crossings = self._crossings(base, count)
+        if crossings > 0 and count >= self.threshold and base > 0:
+            self.spurious_installs += crossings
+        return crossings
+
+    # -------------------------------------------------------------- interface
+
+    def observe(self, row_id: int) -> bool:
+        return self.observe_batch(row_id, 1) > 0
+
+    def observe_batch(self, row_id: int, n: int) -> int:
+        if n < 0:
+            raise ValueError("count must be non-negative")
+        if n == 0:
+            return 0
+        self.observations += n
+        crossings = 0
+        count = self._counts.get(row_id)
+        if count is not None:
+            self._bucket_remove(row_id, count)
+            new_count = count + n
+            self._counts[row_id] = new_count
+            self._bucket_add(row_id, new_count)
+            self._advance_min()
+            crossings = self._crossings(count, new_count)
+        elif len(self._counts) < self.capacity:
+            crossings = self._install(row_id, self.spill, self.spill + n)
+        else:
+            self._advance_min()
+            # Every miss increments the spill counter; the row installs
+            # at the first miss where the spill reaches the current
+            # minimum (evicting a minimum entry), and the batch's
+            # remaining activations then increment the fresh entry.
+            misses_until_install = max(1, self._min_count - self.spill)
+            if n >= misses_until_install:
+                self.spill += misses_until_install
+                victim = next(iter(self._buckets[self._min_count]))
+                self._bucket_remove(victim, self._min_count)
+                del self._counts[victim]
+                self._advance_min()
+                remaining = n - misses_until_install
+                crossings = self._install(
+                    row_id, self.spill, self.spill + 1 + remaining
+                )
+            else:
+                self.spill += n
+        if crossings:
+            self.triggers += crossings
+        return crossings
+
+    def estimate(self, row_id: int) -> int:
+        return self._counts.get(row_id, 0)
+
+    def min_count(self) -> int:
+        """Smallest tracked estimate (0 when the table is empty)."""
+        if not self._counts:
+            return 0
+        self._advance_min()
+        return self._min_count
+
+    def reset(self) -> None:
+        self.spill = 0
+        self._counts.clear()
+        self._buckets.clear()
+        self._min_count = 0
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+
+class MisraGriesTracker(PerBankTracker):
+    """Rank-level ART: one Misra-Gries summary per bank."""
+
+    def __init__(
+        self,
+        threshold: int,
+        num_banks: int = 16,
+        bank_of: Callable[[int], int] = None,
+        entries_per_bank: int = None,
+    ) -> None:
+        if bank_of is None:
+            bank_of = lambda row: row % num_banks  # noqa: E731
+        super().__init__(
+            threshold,
+            num_banks,
+            bank_of,
+            factory=lambda t: MisraGriesBank(t, capacity=entries_per_bank),
+        )
+
+    @property
+    def spurious_installs(self) -> int:
+        """Total spill-inherited threshold crossings across banks."""
+        return sum(
+            bank.spurious_installs
+            for bank in self._banks.values()
+        )

@@ -1,0 +1,93 @@
+"""CRA/Panopticon-style per-row counters stored in DRAM.
+
+The oldest exact-tracking proposal (Kim et al., CAL 2014 [14];
+Panopticon [4]): one activation counter per DRAM row, held in DRAM
+itself because SRAM cannot afford two million counters.  Counting is
+exact (no Misra-Gries estimation error, no spurious mitigations), but
+every activation needs a counter read-modify-write, so a small SRAM
+counter cache is essential; the miss traffic is the scheme's cost.
+
+This tracker is exact by construction -- the property-based tests use
+it as a reference -- and reports its DRAM counter traffic so the cost
+argument can be evaluated (``counter_dram_accesses``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, OrderedDict
+
+from repro.trackers.base import AggressorTracker
+
+
+class PerRowCounterTracker(AggressorTracker):
+    """Exact per-row counters in DRAM behind a small SRAM cache."""
+
+    def __init__(
+        self,
+        threshold: int,
+        cache_entries: int = 2048,
+        writeback: bool = True,
+    ) -> None:
+        super().__init__(threshold)
+        if cache_entries < 1:
+            raise ValueError("cache_entries must be >= 1")
+        self.cache_entries = cache_entries
+        self.writeback = writeback
+        self._counts: Counter = Counter()
+        self._cache: OrderedDict = OrderedDict()
+        self.counter_dram_accesses = 0
+        self.cache_hits = 0
+
+    def _touch_cache(self, row_id: int) -> None:
+        if row_id in self._cache:
+            self._cache.move_to_end(row_id)
+            self.cache_hits += 1
+            return
+        # Miss: fetch the counter from DRAM (one access; writeback of
+        # the evicted dirty counter adds another).
+        self.counter_dram_accesses += 1
+        self._cache[row_id] = True
+        if len(self._cache) > self.cache_entries:
+            self._cache.popitem(last=False)
+            if self.writeback:
+                self.counter_dram_accesses += 1
+
+    def observe(self, row_id: int) -> bool:
+        self.observations += 1
+        self._touch_cache(row_id)
+        self._counts[row_id] += 1
+        triggered = self._counts[row_id] % self.threshold == 0
+        if triggered:
+            self.note_trigger()
+        return triggered
+
+    def observe_batch(self, row_id: int, count: int) -> int:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return 0
+        self.observations += count
+        self._touch_cache(row_id)
+        before = self._counts[row_id]
+        after = before + count
+        self._counts[row_id] = after
+        crossings = after // self.threshold - before // self.threshold
+        self.triggers += crossings
+        return crossings
+
+    def estimate(self, row_id: int) -> int:
+        return self._counts[row_id]
+
+    def reset(self) -> None:
+        # Bulk-clearing two million in-DRAM counters is itself a cost
+        # (Panopticon interleaves it with refresh); we model the state
+        # change only.
+        self._counts.clear()
+        self._cache.clear()
+
+    @property
+    def dram_traffic_per_activation(self) -> float:
+        """Average DRAM counter accesses per observed activation."""
+        if self.observations == 0:
+            return 0.0
+        return self.counter_dram_accesses / self.observations

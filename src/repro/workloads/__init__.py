@@ -1,0 +1,54 @@
+"""Workload substrate: Table II specs and synthetic trace generators.
+
+SPEC CPU2017 is unavailable (licensed); the generators here reproduce
+the paper's own per-workload characterisation (Table II) -- see the
+substitution table in DESIGN.md.
+"""
+
+from repro.workloads.table2 import (
+    SPEC_NAMES,
+    TABLE_II,
+    WorkloadSpec,
+    average_mpki,
+)
+from repro.workloads.trace import (
+    DEFAULT_CHUNK,
+    EpochTrace,
+    acts_per_epoch,
+    chunk_counts,
+    memory_boundness,
+)
+from repro.workloads.spec import (
+    MAX_BACKGROUND_ACTS,
+    RESERVED_TOP_ROWS,
+    SyntheticWorkload,
+    workload,
+)
+from repro.workloads.mixes import (
+    MIX_SEED,
+    NUM_MIXES,
+    MixWorkload,
+    all_mixes,
+    mix_compositions,
+)
+
+__all__ = [
+    "SPEC_NAMES",
+    "TABLE_II",
+    "WorkloadSpec",
+    "average_mpki",
+    "DEFAULT_CHUNK",
+    "EpochTrace",
+    "acts_per_epoch",
+    "chunk_counts",
+    "memory_boundness",
+    "MAX_BACKGROUND_ACTS",
+    "RESERVED_TOP_ROWS",
+    "SyntheticWorkload",
+    "workload",
+    "MIX_SEED",
+    "NUM_MIXES",
+    "MixWorkload",
+    "all_mixes",
+    "mix_compositions",
+]

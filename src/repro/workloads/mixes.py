@@ -1,0 +1,119 @@
+"""Mixed workloads: 16 four-way random SPEC2017 combinations.
+
+The paper evaluates 16 "mix" workloads, each four random SPEC2017 rate
+workloads sharing the memory system.  A mix's activation stream is the
+interleaved union of its members' streams, with each member's rows
+offset into a distinct region (separate processes do not share physical
+pages), and its memory-boundness reflects the combined MPKI.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+import numpy as np
+
+from repro.dram.geometry import DramGeometry, DEFAULT_GEOMETRY
+from repro.workloads.spec import SyntheticWorkload
+from repro.workloads.table2 import SPEC_NAMES, TABLE_II, WorkloadSpec
+from repro.workloads.trace import DEFAULT_CHUNK, EpochTrace, memory_boundness
+
+
+NUM_MIXES = 16
+"""Number of mixed workloads in the paper's evaluation."""
+
+MIX_SEED = 0xA0_0A
+"""Seed for the deterministic mix composition draw."""
+
+
+
+def mix_compositions(
+    count: int = NUM_MIXES, seed: int = MIX_SEED
+) -> List[List[str]]:
+    """The deterministic composition of each mix (4 names, no repeats)."""
+    rng = random.Random(seed)
+    return [rng.sample(SPEC_NAMES, 4) for _ in range(count)]
+
+
+def single_copy(spec: WorkloadSpec) -> WorkloadSpec:
+    """Scale a 4-copy *rate* characterisation down to one copy.
+
+    Table II characterises 4-copy rate runs; a mix member is a single
+    copy of the program, contributing roughly a quarter of the rate
+    run's MPKI and hot-row population.
+    """
+    return WorkloadSpec(
+        name=spec.name,
+        mpki=spec.mpki / 4.0,
+        act_166_plus=spec.act_166_plus // 4,
+        act_500_plus=spec.act_500_plus // 4,
+        act_1k_plus=spec.act_1k_plus // 4,
+    )
+
+
+class MixWorkload:
+    """Four SPEC workloads sharing the memory system."""
+
+    def __init__(
+        self,
+        index: int,
+        names: List[str],
+        geometry: DramGeometry = DEFAULT_GEOMETRY,
+        chunk: int = DEFAULT_CHUNK,
+    ) -> None:
+        if len(names) != 4:
+            raise ValueError("a mix is exactly four workloads")
+        self.index = index
+        self.names = list(names)
+        self.geometry = geometry
+        # Partition the addressable space: each member owns a quarter
+        # (separate processes share no physical pages).
+        probe = SyntheticWorkload(single_copy(TABLE_II[names[0]]), geometry)
+        quarter = probe.addressable_rows // 4
+        self.members: List[SyntheticWorkload] = [
+            SyntheticWorkload(
+                single_copy(TABLE_II[name]),
+                geometry=geometry,
+                seed=index + 1,
+                chunk=chunk,
+                region_base=core * quarter,
+                region_rows=quarter,
+            )
+            for core, name in enumerate(names)
+        ]
+
+    @property
+    def name(self) -> str:
+        return f"mix{self.index:02d}"
+
+    @property
+    def mpki(self) -> float:
+        """Aggregate MPKI of the four cores."""
+        return sum(member.mpki for member in self.members)
+
+    @property
+    def memory_boundness(self) -> float:
+        """Combined memory-boundness (shared channel, summed demand)."""
+        return memory_boundness(self.mpki)
+
+    def epoch_trace(self, epoch: int = 0) -> EpochTrace:
+        """Interleaved union of the members' epoch streams."""
+        traces = [member.epoch_trace(epoch) for member in self.members]
+        rows = np.concatenate([trace.rows for trace in traces])
+        counts = np.concatenate([trace.counts for trace in traces])
+        rng = np.random.default_rng((self.index << 16) ^ epoch ^ 0xC0FE)
+        order = rng.permutation(len(rows))
+        return EpochTrace(rows=rows[order], counts=counts[order])
+
+
+def all_mixes(
+    geometry: DramGeometry = DEFAULT_GEOMETRY,
+    chunk: int = DEFAULT_CHUNK,
+    count: int = NUM_MIXES,
+) -> List[MixWorkload]:
+    """The paper's 16 mixed workloads, deterministically composed."""
+    return [
+        MixWorkload(index, names, geometry=geometry, chunk=chunk)
+        for index, names in enumerate(mix_compositions(count))
+    ]

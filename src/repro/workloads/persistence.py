@@ -1,0 +1,101 @@
+"""Trace persistence: save/load activation traces as ``.npz`` archives.
+
+The synthetic generators are deterministic, but archived traces let a
+reproduction run be shipped and replayed bit-for-bit (the role the
+original artifact's gem5 checkpoints play), and let externally captured
+activation traces drive the same pipeline.
+
+Format: one ``.npz`` with ``rows_<i>`` / ``counts_<i>`` arrays per
+epoch plus a ``meta`` record (name, mpki, memory-boundness).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+import numpy as np
+
+from repro.workloads.trace import EpochTrace, memory_boundness
+
+
+FORMAT_VERSION = 1
+
+
+class TraceArchive:
+    """A named, replayable sequence of epoch traces.
+
+    Implements the workload protocol (``name``, ``memory_boundness``,
+    ``epoch_trace``), so an archive plugs directly into
+    :class:`~repro.sim.system.SystemSimulator`.
+    """
+
+    def __init__(
+        self, name: str, mpki: float, traces: List[EpochTrace]
+    ) -> None:
+        if not traces:
+            raise ValueError("archive needs at least one epoch")
+        self.name = name
+        self.mpki = mpki
+        self._traces = traces
+
+    @property
+    def memory_boundness(self) -> float:
+        return memory_boundness(self.mpki)
+
+    @property
+    def epochs(self) -> int:
+        return len(self._traces)
+
+    def epoch_trace(self, epoch: int) -> EpochTrace:
+        """Epoch ``epoch``'s trace (cycling past the recorded length)."""
+        return self._traces[epoch % len(self._traces)]
+
+    @staticmethod
+    def record(workload, epochs: int) -> "TraceArchive":
+        """Capture ``epochs`` windows of any workload object."""
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        return TraceArchive(
+            name=workload.name,
+            mpki=getattr(workload, "mpki", 0.0),
+            traces=[workload.epoch_trace(e) for e in range(epochs)],
+        )
+
+    def save(self, path: str) -> None:
+        """Write the archive to ``path`` (.npz)."""
+        payload = {
+            "meta": np.frombuffer(
+                json.dumps(
+                    {
+                        "version": FORMAT_VERSION,
+                        "name": self.name,
+                        "mpki": self.mpki,
+                        "epochs": len(self._traces),
+                    }
+                ).encode(),
+                dtype=np.uint8,
+            )
+        }
+        for index, trace in enumerate(self._traces):
+            payload[f"rows_{index}"] = trace.rows
+            payload[f"counts_{index}"] = trace.counts
+        np.savez_compressed(path, **payload)
+
+    @staticmethod
+    def load(path: str) -> "TraceArchive":
+        """Read an archive written by :meth:`save`."""
+        with np.load(path) as data:
+            meta = json.loads(bytes(data["meta"].tobytes()).decode())
+            if meta.get("version") != FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported trace format {meta.get('version')}"
+                )
+            traces = [
+                EpochTrace(
+                    rows=data[f"rows_{index}"].astype(np.int64),
+                    counts=data[f"counts_{index}"].astype(np.int64),
+                )
+                for index in range(meta["epochs"])
+            ]
+        return TraceArchive(meta["name"], meta["mpki"], traces)

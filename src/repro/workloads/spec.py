@@ -1,0 +1,219 @@
+"""Synthetic SPEC2017 workload generators, calibrated to Table II.
+
+SPEC CPU2017 binaries and reference inputs are licensed and unavailable
+here, so each workload is replaced by a deterministic synthetic
+generator that reproduces the paper's own characterisation of it
+(Table II): the number of rows crossing 166/500/1000 activations per
+epoch and the MPKI-derived total activation volume.  Those statistics
+are precisely what drives every mitigation scheme's behaviour, so the
+substitution preserves the quantities the evaluation measures
+(DESIGN.md, substitution table).
+
+Per-band activation totals are drawn deterministically (seeded per
+workload and epoch) from within the band:
+
+* 1K+ band: counts in [1000, 1600)
+* 500 band: counts in [500, 1000)
+* 166 band: counts in [166, 500)
+* background: many distinct rows with counts in [1, 8] filling the
+  remaining MPKI-implied volume (capped), which exercises the
+  Misra-Gries spill counter and its spurious mitigations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.dram.geometry import DramGeometry, DEFAULT_GEOMETRY
+from repro.workloads.table2 import TABLE_II, WorkloadSpec
+from repro.workloads.trace import (
+    DEFAULT_CHUNK,
+    EpochTrace,
+    acts_per_epoch,
+    chunk_counts,
+    memory_boundness,
+)
+
+
+#: Rows at the top of memory reserved by schemes (RQA + tables, at most
+#: ~47K for the lowest thresholds); generators never touch them so the
+#: same trace is valid for every scheme under study.
+RESERVED_TOP_ROWS = 64 * 1024
+
+#: Cap on simulated background activations per epoch.  The background
+#: volume beyond the cap affects neither mitigation counts nor the
+#: slowdown model (which charges busy time against wall-clock), only
+#: Misra-Gries spill dynamics, which saturate well below the cap.
+MAX_BACKGROUND_ACTS = 80_000
+
+#: Per-band activation-count bounds.  The inner margins (e.g. 490
+#: rather than 500) keep a hot row inside its Table II band even if a
+#: few background activations land on the same row.
+_BAND_BOUNDS = {
+    "1k": (1010, 1600),
+    "500": (505, 990),
+    "166": (170, 490),
+}
+
+
+class SyntheticWorkload:
+    """Deterministic activation-stream generator for one Table II row."""
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        geometry: DramGeometry = DEFAULT_GEOMETRY,
+        seed: int = 0,
+        chunk: int = DEFAULT_CHUNK,
+        region_base: int = 0,
+        region_rows: Optional[int] = None,
+        max_background_acts: int = MAX_BACKGROUND_ACTS,
+    ) -> None:
+        self.spec = spec
+        self.geometry = geometry
+        self.seed = seed
+        self.chunk = chunk
+        self.max_background_acts = max_background_acts
+        # Scale the reserved region down for small test geometries
+        # (it must still cover any scheme's RQA + table carve-out).
+        reserved = min(
+            RESERVED_TOP_ROWS, max(512, geometry.rows_per_rank // 8)
+        )
+        self.addressable_rows = geometry.rows_per_rank - reserved
+        if self.addressable_rows < 1:
+            raise ValueError("geometry too small for reserved region")
+        # The workload's address region: mixes partition memory among
+        # their members (separate processes share no physical pages).
+        self.region_base = region_base
+        self.region_rows = (
+            region_rows
+            if region_rows is not None
+            else self.addressable_rows - region_base
+        )
+        if self.region_rows < 1 or (
+            region_base + self.region_rows > self.addressable_rows
+        ):
+            raise ValueError("region outside addressable space")
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def mpki(self) -> float:
+        return self.spec.mpki
+
+    @property
+    def memory_boundness(self) -> float:
+        """Fraction of execution time coupled to memory time."""
+        return memory_boundness(self.spec.mpki)
+
+    def _rng(self, epoch: int) -> np.random.Generator:
+        return np.random.default_rng(
+            (hash(self.spec.name) & 0xFFFF_FFFF) ^ (self.seed << 8) ^ epoch
+        )
+
+    def _band_counts(
+        self, rng: np.random.Generator
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Pick hot rows and their epoch activation totals."""
+        spec = self.spec
+        sizes = (spec.band_1k, spec.band_500, spec.band_166)
+        bounds = (_BAND_BOUNDS["1k"], _BAND_BOUNDS["500"], _BAND_BOUNDS["166"])
+        totals = [
+            rng.integers(low, high, size=size)
+            for size, (low, high) in zip(sizes, bounds)
+            if size > 0
+        ]
+        n_hot = sum(sizes)
+        if n_hot == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        rows = self._sample_rows(rng, n_hot)
+        return rows, np.concatenate(totals).astype(np.int64)
+
+    def _sample_rows(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Distinct row ids within this workload's region."""
+        rows = rng.choice(self.region_rows, size=n, replace=False)
+        return (rows + self.region_base).astype(np.int64)
+
+    def _background(
+        self, rng: np.random.Generator, hot_volume: int
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Cold rows filling the MPKI-implied volume (capped)."""
+        target = acts_per_epoch(self.spec.mpki)
+        budget = min(max(0, target - hot_volume), self.max_background_acts)
+        if budget <= 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        # Workloads with hot rows have row-buffer-friendly cold traffic
+        # (revisited rows); hot-row-free streaming workloads (imagick,
+        # nab, ...) touch many distinct rows once per epoch, which
+        # exercises the Misra-Gries spill counter and reproduces the
+        # spurious-mitigation artefact of Sec. IV-F.
+        if self.spec.act_166_plus > 0:
+            totals = rng.integers(1, 4, size=max(1, int(budget / 2.0)))
+        else:
+            totals = np.ones(max(1, budget), dtype=np.int64)
+        totals = totals.astype(np.int64)
+        overshoot = totals.cumsum().searchsorted(budget)
+        totals = totals[: max(1, overshoot)]
+        # Background rows may repeat (sampled with replacement): real
+        # streaming traffic revisits rows across the epoch.
+        rows = rng.integers(0, self.region_rows, size=len(totals))
+        return (rows + self.region_base).astype(np.int64), totals
+
+    #: Temporal-locality spread: a hot row's activation bursts cluster
+    #: within this fraction of the epoch (real hammering/streaming
+    #: access patterns are bursty, which is what lets a 4K-entry
+    #: FPT-Cache serve a much larger quarantined population, Sec. V-C).
+    PHASE_SPREAD = 0.15
+
+    def epoch_trace(self, epoch: int = 0) -> EpochTrace:
+        """Generate this workload's activation stream for ``epoch``."""
+        rng = self._rng(epoch)
+        hot_rows, hot_totals = self._band_counts(rng)
+        bg_rows, bg_totals = self._background(rng, int(hot_totals.sum()))
+        rows = np.concatenate([hot_rows, bg_rows])
+        totals = np.concatenate([hot_totals, bg_totals])
+        indices = np.arange(len(rows), dtype=np.int64)
+        chunk_idx, chunk_cnts = chunk_counts(indices, totals, self.chunk)
+        # Phase-clustered ordering: each row gets a random phase in the
+        # epoch and its chunks land within PHASE_SPREAD of it, so
+        # different rows interleave while one row's bursts stay close.
+        row_phase = rng.random(len(rows))
+        chunk_phase = row_phase[chunk_idx] + rng.random(len(chunk_idx)) * (
+            self.PHASE_SPREAD
+        )
+        order = np.argsort(chunk_phase, kind="stable")
+        return EpochTrace(
+            rows=rows[chunk_idx][order], counts=chunk_cnts[order]
+        )
+
+
+def workload(
+    name: str,
+    geometry: DramGeometry = DEFAULT_GEOMETRY,
+    seed: int = 0,
+    chunk: int = DEFAULT_CHUNK,
+    region_base: int = 0,
+    region_rows: Optional[int] = None,
+    max_background_acts: Optional[int] = None,
+) -> SyntheticWorkload:
+    """Construct the synthetic generator for a Table II workload name."""
+    if name not in TABLE_II:
+        raise KeyError(f"unknown workload {name!r}; see TABLE_II")
+    kwargs = {}
+    if max_background_acts is not None:
+        kwargs["max_background_acts"] = max_background_acts
+    return SyntheticWorkload(
+        TABLE_II[name],
+        geometry=geometry,
+        seed=seed,
+        chunk=chunk,
+        region_base=region_base,
+        region_rows=region_rows,
+        **kwargs,
+    )

@@ -1,0 +1,85 @@
+"""Table II: SPEC CPU2017 workload characteristics.
+
+The paper characterises each workload by its LLC misses-per-kilo-
+instruction (MPKI) and, per 64 ms epoch, the average number of rows
+receiving 166+, 500+ and 1000+ activations.  These statistics are the
+complete interface between a workload and every Rowhammer mitigation
+(they determine mitigation counts at each trigger threshold), so the
+synthetic generators are calibrated to reproduce them exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One row of Table II."""
+
+    name: str
+    mpki: float
+    act_166_plus: int
+    """Rows with at least 166 activations per epoch."""
+    act_500_plus: int
+    """Rows with at least 500 activations per epoch."""
+    act_1k_plus: int
+    """Rows with at least 1000 activations per epoch."""
+
+    def __post_init__(self) -> None:
+        if not (
+            self.act_166_plus >= self.act_500_plus >= self.act_1k_plus >= 0
+        ):
+            raise ValueError(
+                f"{self.name}: activation bands must be non-increasing"
+            )
+
+    @property
+    def band_166(self) -> int:
+        """Rows with activations in [166, 500)."""
+        return self.act_166_plus - self.act_500_plus
+
+    @property
+    def band_500(self) -> int:
+        """Rows with activations in [500, 1000)."""
+        return self.act_500_plus - self.act_1k_plus
+
+    @property
+    def band_1k(self) -> int:
+        """Rows with activations in [1000, inf)."""
+        return self.act_1k_plus
+
+
+TABLE_II: Dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in [
+        WorkloadSpec("lbm", 20.9, 6794, 5437, 0),
+        WorkloadSpec("blender", 14.8, 6085, 3021, 572),
+        WorkloadSpec("gcc", 6.32, 4850, 1836, 111),
+        WorkloadSpec("mcf", 7.02, 4819, 835, 393),
+        WorkloadSpec("cactuBSSN", 2.57, 2515, 0, 0),
+        WorkloadSpec("roms", 4.37, 1150, 191, 11),
+        WorkloadSpec("xz", 0.41, 655, 0, 0),
+        WorkloadSpec("perlbench", 0.74, 0, 0, 0),
+        WorkloadSpec("bwaves", 0.21, 0, 0, 0),
+        WorkloadSpec("namd", 0.38, 0, 0, 0),
+        WorkloadSpec("povray", 0.01, 0, 0, 0),
+        WorkloadSpec("wrf", 0.02, 0, 0, 0),
+        WorkloadSpec("deepsjeng", 0.25, 0, 0, 0),
+        WorkloadSpec("imagick", 0.27, 0, 0, 0),
+        WorkloadSpec("leela", 0.03, 0, 0, 0),
+        WorkloadSpec("nab", 0.54, 0, 0, 0),
+        WorkloadSpec("exchange2", 0.01, 0, 0, 0),
+        WorkloadSpec("parest", 0.1, 0, 0, 0),
+    ]
+}
+"""The 18 SPEC2017 rate workloads of Table II, keyed by name."""
+
+SPEC_NAMES: List[str] = list(TABLE_II)
+"""Workload names in the paper's order."""
+
+
+def average_mpki() -> float:
+    """Average MPKI across the 18 workloads (paper: 3.5)."""
+    return sum(spec.mpki for spec in TABLE_II.values()) / len(TABLE_II)

@@ -1,0 +1,117 @@
+"""Trace representation and the workload protocol.
+
+A workload yields, per epoch, an :class:`EpochTrace`: a sequence of
+(row, burst-length) chunks in activation order.  Chunking lets the
+simulator batch tracker/table updates (a chunk is far smaller than any
+mitigation threshold, so behaviour matches per-ACT simulation), while
+the chunk *order* is shuffled so rows interleave the way concurrent
+hammering streams do.
+
+``memory_boundness`` maps a workload's MPKI to the fraction of its
+execution time that is memory-bound -- the coupling constant of the
+slowdown model in :mod:`repro.sim.cpu`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+
+#: MPKI at which a workload is 50% memory-bound.  Calibrated so the
+#: model reproduces the paper's per-workload slowdown ordering
+#: (lbm/blender worst, xz and below negligible).
+MPKI_HALF = 3.0
+
+#: LLC misses per kilo-instruction map to row activations per epoch via
+#: instruction throughput (4 cores x 3 GHz x 64 ms at IPC ~1) and the
+#: fraction of misses that open a new row (~0.35 row-buffer miss rate).
+INSTRUCTIONS_PER_EPOCH = 4 * 3.0e9 * 0.064
+ACT_PER_MISS = 0.6
+
+#: Default burst length for chunked traces.  Must stay well below the
+#: smallest mitigation threshold in use (166 for RRS at T_RH = 1K).
+DEFAULT_CHUNK = 64
+
+
+def memory_boundness(mpki: float) -> float:
+    """Fraction of execution time that dilates with memory time."""
+    if mpki < 0:
+        raise ValueError("mpki must be non-negative")
+    return mpki / (mpki + MPKI_HALF)
+
+
+def acts_per_epoch(mpki: float) -> int:
+    """Estimated row activations per epoch for a given MPKI."""
+    return int(mpki * 1e-3 * INSTRUCTIONS_PER_EPOCH * ACT_PER_MISS)
+
+
+@dataclass
+class EpochTrace:
+    """One epoch's activation stream, as (row, count) chunks."""
+
+    rows: np.ndarray
+    """Row id per chunk (int64)."""
+    counts: np.ndarray
+    """Activations per chunk (int64), each <= the chunk size used."""
+
+    def __post_init__(self) -> None:
+        if len(self.rows) != len(self.counts):
+            raise ValueError("rows and counts must align")
+
+    @property
+    def total_activations(self) -> int:
+        return int(self.counts.sum()) if len(self.counts) else 0
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.rows)
+
+    def chunks(self) -> Iterator[Tuple[int, int]]:
+        """Iterate (row, count) pairs in stream order."""
+        return zip(self.rows.tolist(), self.counts.tolist())
+
+    def row_totals(self) -> dict:
+        """Aggregate activations per row (for Table II verification)."""
+        totals: dict = {}
+        for row, count in zip(self.rows.tolist(), self.counts.tolist()):
+            totals[row] = totals.get(row, 0) + count
+        return totals
+
+    def rows_at_or_above(self, threshold: int) -> int:
+        """Rows whose epoch total reaches ``threshold`` activations."""
+        return sum(
+            1 for total in self.row_totals().values() if total >= threshold
+        )
+
+
+def chunk_counts(
+    row_ids: np.ndarray, totals: np.ndarray, chunk: int = DEFAULT_CHUNK
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Split per-row totals into chunk-sized bursts.
+
+    Returns parallel arrays (rows, counts) ready to shuffle: a row with
+    total 700 and chunk 64 becomes ten 64-bursts and one 60-burst.
+    """
+    if chunk < 1:
+        raise ValueError("chunk must be >= 1")
+    full = totals // chunk
+    remainder = totals % chunk
+    rows_out = []
+    counts_out = []
+    if full.sum() > 0:
+        rows_out.append(np.repeat(row_ids, full))
+        counts_out.append(np.full(int(full.sum()), chunk, dtype=np.int64))
+    has_rem = remainder > 0
+    if has_rem.any():
+        rows_out.append(row_ids[has_rem])
+        counts_out.append(remainder[has_rem])
+    if not rows_out:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    return (
+        np.concatenate(rows_out).astype(np.int64),
+        np.concatenate(counts_out).astype(np.int64),
+    )

@@ -1,0 +1,50 @@
+"""Appendix A analytical model (Fig. 12)."""
+
+import pytest
+
+from repro.analysis.migration_model import (
+    empirical_ratio,
+    f_for_ratio,
+    fig12_series,
+    guaranteed_floor,
+    migration_ratio,
+)
+
+
+class TestModel:
+    def test_floor_is_six(self):
+        # Best case for RRS: r(1) = 6 (Appendix A).
+        assert guaranteed_floor() == pytest.approx(6.0)
+
+    def test_ratio_monotonically_decreases_in_f(self):
+        assert migration_ratio(0.1) > migration_ratio(0.5) > migration_ratio(1.0)
+
+    def test_paper_average_corresponds_to_f_04(self):
+        # The measured average r = 9 corresponds to f = 0.4.
+        assert migration_ratio(0.4) == pytest.approx(9.0)
+        assert f_for_ratio(9.0) == pytest.approx(0.4)
+
+    def test_inverse_round_trip(self):
+        for f in (0.1, 0.25, 0.7):
+            assert f_for_ratio(migration_ratio(f)) == pytest.approx(f)
+
+    def test_domain_validation(self):
+        with pytest.raises(ValueError):
+            migration_ratio(0.0)
+        with pytest.raises(ValueError):
+            migration_ratio(1.1)
+        with pytest.raises(ValueError):
+            f_for_ratio(5.0)
+
+
+class TestSeries:
+    def test_fig12_series_shape(self):
+        series = fig12_series()
+        assert series[-1] == (1.0, pytest.approx(6.0))
+        ratios = [r for _, r in series]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_empirical_ratio(self):
+        assert empirical_ratio(100, 900) == pytest.approx(9.0)
+        with pytest.raises(ValueError):
+            empirical_ratio(0, 1)

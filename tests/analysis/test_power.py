@@ -1,0 +1,50 @@
+"""Power analysis (Sec. V-H)."""
+
+import pytest
+
+from repro.analysis.power import AquaPowerReport, sram_static_mw
+from repro.dram.power import DramEnergyCounters
+
+
+class TestSramPower:
+    def test_bloom_filter_matches_cacti(self):
+        # Sec. V-H: 5.4 mW for the 16 KB bloom filter.
+        assert sram_static_mw(16 * 1024) == pytest.approx(5.4, abs=0.1)
+
+    def test_copy_buffer(self):
+        # Sec. V-H: 2.8 mW for the 8 KB copy-buffer.
+        assert sram_static_mw(8 * 1024) == pytest.approx(2.7, abs=0.2)
+
+    def test_total_is_13_6_mw(self):
+        report = AquaPowerReport()
+        assert report.sram_total_mw == pytest.approx(13.6, rel=0.05)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            sram_static_mw(-1)
+
+
+class TestDramOverhead:
+    def test_overhead_fraction_below_two_percent(self):
+        # Sec. V-H: AQUA adds ~0.7% DRAM power at ~1100 migrations per
+        # epoch plus table traffic.
+        report = AquaPowerReport()
+        base = DramEnergyCounters(
+            activations=4_000_000, line_reads=6_000_000, line_writes=2_000_000
+        )
+        mitigated = DramEnergyCounters(
+            activations=base.activations,
+            line_reads=base.line_reads,
+            line_writes=base.line_writes,
+        )
+        for _ in range(1100):
+            mitigated.add_migration(8 * 1024)
+        fraction = report.dram_overhead_fraction(base, mitigated, 64e6)
+        assert 0.0 < fraction < 0.02
+
+    def test_overhead_mw_positive(self):
+        report = AquaPowerReport()
+        base = DramEnergyCounters()
+        mitigated = DramEnergyCounters()
+        mitigated.add_migration(8 * 1024)
+        assert report.dram_overhead_mw(base, mitigated, 64e6) > 0

@@ -1,0 +1,55 @@
+"""Consolidated report builder."""
+
+import os
+
+from repro.analysis.report import SECTIONS, build_report, collect, write_report
+
+
+def seed_results(tmp_path, stems):
+    for stem in stems:
+        (tmp_path / f"{stem}.txt").write_text(f"table for {stem}\n")
+    return str(tmp_path)
+
+
+class TestCollect:
+    def test_collects_present_tables_only(self, tmp_path):
+        directory = seed_results(
+            tmp_path, ["table3_rqa_sizing", "fig07_performance"]
+        )
+        tables = collect(directory)
+        assert set(tables) == {"table3", "fig07"}
+
+    def test_empty_dir(self, tmp_path):
+        assert collect(str(tmp_path)) == {}
+
+
+class TestBuild:
+    def test_sections_in_paper_order(self, tmp_path):
+        directory = seed_results(
+            tmp_path,
+            ["fig07_performance", "table3_rqa_sizing", "fig02_threshold_trend"],
+        )
+        report = build_report(directory)
+        fig02 = report.index("Figure 2")
+        table3 = report.index("Table III")
+        fig07 = report.index("Figure 7")
+        assert fig02 < table3 < fig07
+
+    def test_content_embedded(self, tmp_path):
+        directory = seed_results(tmp_path, ["table3_rqa_sizing"])
+        report = build_report(directory)
+        assert "table for table3_rqa_sizing" in report
+
+    def test_counts_header(self, tmp_path):
+        directory = seed_results(tmp_path, ["table3_rqa_sizing"])
+        report = build_report(directory)
+        assert f"1 of {len(SECTIONS)} experiments" in report
+
+
+class TestWrite:
+    def test_writes_report_file(self, tmp_path):
+        directory = seed_results(tmp_path, ["table3_rqa_sizing"])
+        path = write_report(results_dir=directory)
+        assert os.path.exists(path)
+        with open(path) as handle:
+            assert "AQUA reproduction" in handle.read()

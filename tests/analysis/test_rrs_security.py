@@ -1,0 +1,36 @@
+"""RRS birthday-paradox security model (Sec. II-F)."""
+
+import pytest
+
+from repro.analysis.rrs_security import (
+    expected_attack_years,
+    success_probability_per_window,
+    swaps_per_window,
+)
+
+
+class TestModel:
+    def test_swap_rate_scales_inversely_with_threshold(self):
+        assert swaps_per_window(1000) > swaps_per_window(4000)
+
+    def test_probability_in_unit_interval(self):
+        p = success_probability_per_window(1000)
+        assert 0.0 < p < 1.0
+
+    def test_attack_time_order_of_years_at_1k(self):
+        # Sec. II-F: "an attacker can still cause a successful attack on
+        # average within 4 years".
+        years = expected_attack_years(1000)
+        assert 0.1 < years < 50.0
+
+    def test_many_machines_divide_the_time(self):
+        one = expected_attack_years(1000, machines=1)
+        thousand = expected_attack_years(1000, machines=1000)
+        assert thousand == pytest.approx(one / 1000)
+
+    def test_lower_threshold_is_easier_to_attack(self):
+        assert expected_attack_years(1000) < expected_attack_years(4000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_attack_years(1000, machines=0)

@@ -1,0 +1,95 @@
+"""Security oracles: sliding-window ledger and disturbance model."""
+
+import pytest
+
+from repro.analysis.security import ActivationLedger, DisturbanceOracle
+
+
+def line_neighbors(row):
+    """1-D adjacency used by oracle unit tests."""
+    return [row - 1, row + 1] if row > 0 else [row + 1]
+
+
+class TestLedger:
+    def test_counts_within_window(self):
+        ledger = ActivationLedger(window_ns=100.0)
+        for t in (0.0, 10.0, 20.0):
+            ledger.record(5, t)
+        assert ledger.window_count(5, 20.0) == 3
+
+    def test_old_events_age_out(self):
+        ledger = ActivationLedger(window_ns=100.0)
+        ledger.record(5, 0.0)
+        ledger.record(5, 150.0)
+        assert ledger.window_count(5, 150.0) == 1
+
+    def test_peak_tracks_maximum(self):
+        ledger = ActivationLedger(window_ns=100.0)
+        for t in range(5):
+            ledger.record(5, float(t))
+        ledger.record(5, 1000.0)
+        assert ledger.peak(5) == 5
+        assert ledger.max_peak() == 5
+        assert ledger.worst_row() == 5
+
+    def test_violations(self):
+        ledger = ActivationLedger(window_ns=100.0)
+        for t in range(10):
+            ledger.record(7, float(t))
+        assert ledger.violations(10) == [7]
+        assert ledger.violations(11) == []
+
+    def test_empty_ledger(self):
+        ledger = ActivationLedger()
+        assert ledger.max_peak() == 0
+        assert ledger.worst_row() is None
+
+
+class TestDisturbanceOracle:
+    def test_activation_disturbs_neighbors(self):
+        oracle = DisturbanceOracle(line_neighbors, rowhammer_threshold=100)
+        oracle.record_activation(5, 0.0)
+        assert oracle.disturbance(4) == 1
+        assert oracle.disturbance(6) == 1
+        assert oracle.disturbance(5) == 0
+
+    def test_own_activation_restores(self):
+        oracle = DisturbanceOracle(line_neighbors, rowhammer_threshold=100)
+        for _ in range(10):
+            oracle.record_activation(5, 0.0)
+        oracle.record_activation(4, 0.0)  # restores row 4
+        assert oracle.disturbance(4) == 0
+        assert oracle.disturbance(6) == 10
+
+    def test_flip_beyond_threshold(self):
+        oracle = DisturbanceOracle(line_neighbors, rowhammer_threshold=5)
+        for _ in range(6):
+            oracle.record_activation(5, 1.0)
+        assert oracle.flips
+        assert {flip.row for flip in oracle.flips} == {4, 6}
+        assert oracle.flipped_rows == {4, 6}
+
+    def test_flip_records_once_per_row(self):
+        oracle = DisturbanceOracle(line_neighbors, rowhammer_threshold=5)
+        for _ in range(20):
+            oracle.record_activation(5, 1.0)
+        assert len(oracle.flips) == 2
+
+    def test_refresh_restores_but_disturbs_outward(self):
+        # The Half-Double mechanism in miniature.
+        oracle = DisturbanceOracle(line_neighbors, rowhammer_threshold=100)
+        for _ in range(50):
+            oracle.record_activation(5, 0.0)
+        oracle.record_refresh(6, 0.0)  # victim refresh of row 6
+        assert oracle.disturbance(6) == 0  # restored
+        assert oracle.disturbance(7) == 1  # hammered at distance 2 from 5
+
+    def test_epoch_reset_clears_disturbance(self):
+        oracle = DisturbanceOracle(line_neighbors, rowhammer_threshold=100)
+        oracle.record_activation(5, 0.0)
+        oracle.end_epoch()
+        assert oracle.disturbance(4) == 0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            DisturbanceOracle(line_neighbors, rowhammer_threshold=0)

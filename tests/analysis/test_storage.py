@@ -1,0 +1,105 @@
+"""Storage model: Table VII and the per-structure sizes."""
+
+import pytest
+
+from repro.analysis.storage import (
+    aqua_mapping_bytes,
+    hydra_tracker_bytes,
+    misra_gries_tracker_bytes,
+    rrs_rit_bytes,
+    table_vii,
+)
+
+KB = 1024
+
+
+class TestTrackers:
+    def test_misra_gries_matches_paper(self):
+        # Appendix B: 396 KB per rank at the default threshold.
+        assert misra_gries_tracker_bytes(500) / KB == pytest.approx(
+            396, rel=0.05
+        )
+
+    def test_misra_gries_scales_inversely(self):
+        assert misra_gries_tracker_bytes(250) > misra_gries_tracker_bytes(500)
+
+    def test_hydra_matches_paper(self):
+        # Appendix B: ~28-30 KB per rank.
+        assert 26 * KB < hydra_tracker_bytes() < 34 * KB
+
+
+class TestMappingTables:
+    def test_rrs_rit_at_1k(self):
+        assert rrs_rit_bytes(1000) == pytest.approx(2.4e6, rel=0.05)
+
+    def test_rrs_rit_at_4k(self):
+        # Sec. II-F: 0.65 MB per rank at T_RH = 4K.
+        assert rrs_rit_bytes(4000) == pytest.approx(0.65e6, rel=0.15)
+
+    def test_aqua_sram_tables_at_1k(self):
+        # Sec. IV-C: 172 KB for FPT + RPT.
+        assert aqua_mapping_bytes(1000, "sram") / KB == pytest.approx(
+            172, rel=0.05
+        )
+
+    def test_aqua_memory_mapped_tables(self):
+        # Sec. V-G: ~32.6 KB (bloom + cache + pinned entries).
+        assert aqua_mapping_bytes(1000, "memory-mapped") / KB == pytest.approx(
+            32.6, rel=0.05
+        )
+
+    def test_aqua_mapping_12x_smaller_than_rrs(self):
+        # Sec. IV-C: AQUA's SRAM tables are ~12x smaller than RRS's RIT.
+        ratio = rrs_rit_bytes(1000) / aqua_mapping_bytes(1000, "sram")
+        assert ratio == pytest.approx(12, rel=0.25)
+
+    def test_fig1b_shape_rit_grows_as_threshold_falls(self):
+        # Fig. 1b: RRS's SRAM blows up as T_RH drops, AQUA's
+        # memory-mapped budget stays flat.
+        rit = [rrs_rit_bytes(trh) for trh in (4000, 2000, 1000, 500)]
+        assert rit == sorted(rit)
+        assert rit[-1] / rit[0] > 6
+        aqua = [
+            aqua_mapping_bytes(trh, "memory-mapped")
+            for trh in (4000, 2000, 1000, 500)
+        ]
+        assert max(aqua) == min(aqua)
+
+
+class TestTableVII:
+    def test_columns(self):
+        reports = {r.name: r for r in table_vii(1000)}
+        assert set(reports) == {
+            "RRS-MG",
+            "AQUA-MG",
+            "RRS-Hydra",
+            "AQUA-Hydra",
+        }
+
+    def test_totals_match_paper(self):
+        # Appendix B, Table VII: 2870 / 437 / 2502 / 71 KB.
+        reports = {r.name: r for r in table_vii(1000)}
+        assert reports["RRS-MG"].total_bytes / KB == pytest.approx(
+            2870, rel=0.1
+        )
+        assert reports["AQUA-MG"].total_bytes / KB == pytest.approx(
+            437, rel=0.1
+        )
+        assert reports["RRS-Hydra"].total_bytes / KB == pytest.approx(
+            2502, rel=0.1
+        )
+        assert reports["AQUA-Hydra"].total_bytes / KB == pytest.approx(
+            71, rel=0.1
+        )
+
+    def test_buffer_sizes(self):
+        reports = {r.name: r for r in table_vii(1000)}
+        assert reports["RRS-MG"].buffer_bytes == 16 * KB
+        assert reports["AQUA-MG"].buffer_bytes == 8 * KB
+
+    def test_as_kb_helper(self):
+        report = table_vii(1000)[0]
+        kb = report.as_kb()
+        assert kb["total_kb"] == pytest.approx(
+            kb["tracker_kb"] + kb["mapping_kb"] + kb["buffer_kb"]
+        )

@@ -1,0 +1,23 @@
+"""Rowhammer threshold timeline (Fig. 2)."""
+
+import pytest
+
+from repro.analysis.thresholds import THRESHOLD_TIMELINE, threshold_trend
+
+
+class TestTimeline:
+    def test_endpoints_match_paper(self):
+        assert THRESHOLD_TIMELINE[0].rowhammer_threshold == 139_000
+        assert THRESHOLD_TIMELINE[0].year == 2014
+        assert THRESHOLD_TIMELINE[-1].rowhammer_threshold == 4_800
+        assert THRESHOLD_TIMELINE[-1].year == 2020
+
+    def test_monotonic_decline(self):
+        thresholds = [p.rowhammer_threshold for p in THRESHOLD_TIMELINE]
+        assert thresholds == sorted(thresholds, reverse=True)
+
+    def test_trend_reduction_factor(self):
+        trend = threshold_trend()
+        # The paper: "almost 30x" decline 2014 -> 2020.
+        assert trend["reduction_factor"] == pytest.approx(29, rel=0.05)
+        assert trend["span_years"] == 6

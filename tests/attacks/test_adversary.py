@@ -1,0 +1,63 @@
+"""Attack harness mechanics: reporting, timing, instrumentation."""
+
+import pytest
+
+from repro.attacks import patterns
+from repro.attacks.adversary import AttackHarness
+from repro.core.aqua import AquaMitigation
+from repro.mitigations.none import NoMitigation
+
+from tests.conftest import SMALL_GEOMETRY, make_aqua_config
+
+
+def baseline_harness():
+    return AttackHarness(
+        NoMitigation(total_rows=SMALL_GEOMETRY.rows_per_rank),
+        rowhammer_threshold=128,
+        geometry=SMALL_GEOMETRY,
+    )
+
+
+class TestReporting:
+    def test_report_fields(self):
+        harness = baseline_harness()
+        pattern = patterns.single_sided(harness.mapper, 0, 50, 10)
+        report = harness.run(pattern)
+        assert report.activations == 10
+        assert report.scheme == "baseline"
+        assert report.elapsed_ns >= report.unimpeded_ns
+        assert report.migrations == 0
+
+    def test_slowdown_is_one_without_mitigation(self):
+        harness = baseline_harness()
+        pattern = patterns.single_sided(harness.mapper, 0, 50, 100)
+        report = harness.run(pattern)
+        assert report.slowdown == pytest.approx(1.0, rel=0.1)
+
+    def test_peak_matches_ledger(self):
+        harness = baseline_harness()
+        pattern = patterns.single_sided(harness.mapper, 0, 50, 100)
+        report = harness.run(pattern)
+        assert report.peak_row_activations == 100
+
+    def test_empty_pattern(self):
+        harness = baseline_harness()
+        report = harness.run([])
+        assert report.activations == 0
+        assert report.slowdown == 1.0
+        assert not report.succeeded
+
+
+class TestMitigationSlowdown:
+    def test_aqua_migrations_delay_attacker(self):
+        harness = AttackHarness(
+            AquaMitigation(
+                make_aqua_config(rowhammer_threshold=128, rqa_slots=512)
+            ),
+            rowhammer_threshold=128,
+            geometry=SMALL_GEOMETRY,
+        )
+        pattern = patterns.single_sided(harness.mapper, 0, 50, 2000)
+        report = harness.run(pattern)
+        assert report.migrations > 0
+        assert report.slowdown > 1.0

@@ -1,0 +1,82 @@
+"""Blacksmith-style non-uniform patterns and scheme responses."""
+
+import pytest
+
+from repro.attacks import patterns
+from repro.attacks.adversary import AttackHarness
+from repro.core.aqua import AquaMitigation
+from repro.dram.address import AddressMapper
+from repro.mitigations.trr import TargetRowRefresh
+
+from tests.conftest import SMALL_GEOMETRY, make_aqua_config
+
+
+TRH = 192
+
+
+@pytest.fixture
+def mapper():
+    return AddressMapper(SMALL_GEOMETRY)
+
+
+class TestPattern:
+    def test_length_and_rows(self, mapper):
+        pattern = patterns.blacksmith(
+            mapper, bank=1, first_bank_row=100, aggressors=6,
+            total_activations=500,
+        )
+        assert len(pattern) == 500
+        assert 1 < len(set(pattern)) <= 6
+
+    def test_frequencies_are_non_uniform(self, mapper):
+        from collections import Counter
+
+        pattern = patterns.blacksmith(
+            mapper, 1, 100, aggressors=6, total_activations=3000
+        )
+        counts = Counter(pattern)
+        assert max(counts.values()) > 2 * min(counts.values())
+
+    def test_deterministic_by_seed(self, mapper):
+        a = patterns.blacksmith(mapper, 1, 100, 4, 200, seed=1)
+        b = patterns.blacksmith(mapper, 1, 100, 4, 200, seed=1)
+        assert a == b
+        assert a != patterns.blacksmith(mapper, 1, 100, 4, 200, seed=2)
+
+    def test_validation(self, mapper):
+        with pytest.raises(ValueError):
+            patterns.blacksmith(mapper, 1, 100, 0, 10)
+
+
+class TestSchemesUnderBlacksmith:
+    def test_small_trr_sampler_falls(self):
+        # Enough concurrent non-uniform aggressors that the sampler's
+        # round-robin refresh coverage cannot keep every victim below
+        # the threshold between visits.
+        trr = TargetRowRefresh(
+            geometry=SMALL_GEOMETRY, sampler_entries=2, refresh_burst=32
+        )
+        harness = AttackHarness(
+            trr, rowhammer_threshold=TRH, geometry=SMALL_GEOMETRY
+        )
+        pattern = patterns.blacksmith(
+            harness.mapper, 1, 100, aggressors=24,
+            total_activations=24 * TRH * 8,
+        )
+        report = harness.run(pattern)
+        assert report.succeeded
+
+    def test_aqua_holds(self):
+        aqua = AquaMitigation(
+            make_aqua_config(rowhammer_threshold=TRH, rqa_slots=512)
+        )
+        harness = AttackHarness(
+            aqua, rowhammer_threshold=TRH, geometry=SMALL_GEOMETRY
+        )
+        pattern = patterns.blacksmith(
+            harness.mapper, 1, 100, aggressors=10,
+            total_activations=10 * TRH * 3,
+        )
+        report = harness.run(pattern)
+        assert not report.succeeded
+        assert harness.invariant_holds()

@@ -1,0 +1,67 @@
+"""Shared fixtures: scaled-down configurations for fast unit tests.
+
+The full AQUA design point (2M rows, 23K-slot RQA) is exercised by the
+benchmarks; unit and integration tests use a small geometry with an
+explicit RQA size so that state-machine edges (RQA wrap-around, lazy
+drain, epoch reuse guards) are reachable in a few hundred accesses.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import AquaConfig
+from repro.core.aqua import AquaMitigation
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import DDR4_2400
+
+
+SMALL_GEOMETRY = DramGeometry(banks_per_rank=4, rows_per_bank=4096)
+"""16K-row geometry used across the unit tests."""
+
+
+@pytest.fixture
+def small_geometry() -> DramGeometry:
+    return SMALL_GEOMETRY
+
+
+def make_aqua_config(
+    rowhammer_threshold: int = 64,
+    table_mode: str = "sram",
+    rqa_slots: int = 64,
+    tracker: str = "misra-gries",
+    **kwargs,
+) -> AquaConfig:
+    """A small, fast AQUA configuration for unit tests."""
+    kwargs.setdefault("geometry", SMALL_GEOMETRY)
+    kwargs.setdefault("tracker_entries_per_bank", 64)
+    return AquaConfig(
+        rowhammer_threshold=rowhammer_threshold,
+        table_mode=table_mode,
+        rqa_slots=rqa_slots,
+        tracker=tracker,
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def aqua_config() -> AquaConfig:
+    return make_aqua_config()
+
+
+@pytest.fixture
+def aqua() -> AquaMitigation:
+    return AquaMitigation(make_aqua_config())
+
+
+@pytest.fixture
+def aqua_mm() -> AquaMitigation:
+    return AquaMitigation(make_aqua_config(table_mode="memory-mapped"))
+
+
+EPOCH_NS = DDR4_2400.trefw_ns
+
+
+def at_epoch(epoch: int, offset_ns: float = 0.0) -> float:
+    """Timestamp helper: ``offset_ns`` into the given epoch."""
+    return epoch * EPOCH_NS + offset_ns

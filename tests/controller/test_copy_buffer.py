@@ -1,0 +1,36 @@
+"""Copy-buffer: single-buffer two-phase migration protocol."""
+
+import pytest
+
+from repro.controller.copy_buffer import CopyBuffer
+
+
+class TestProtocol:
+    def test_load_store_round_trip(self):
+        buffer = CopyBuffer()
+        buffer.load(42, "content")
+        row, content = buffer.store()
+        assert (row, content) == (42, "content")
+        assert not buffer.busy
+
+    def test_double_load_faults(self):
+        buffer = CopyBuffer()
+        buffer.load(1)
+        with pytest.raises(RuntimeError):
+            buffer.load(2)
+
+    def test_store_empty_faults(self):
+        with pytest.raises(RuntimeError):
+            CopyBuffer().store()
+
+    def test_counters(self):
+        buffer = CopyBuffer()
+        for row in range(3):
+            buffer.load(row)
+            buffer.store()
+        assert buffer.loads == 3
+        assert buffer.stores == 3
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            CopyBuffer(row_bytes=0)

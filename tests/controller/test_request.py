@@ -1,0 +1,25 @@
+"""Memory request validation."""
+
+import pytest
+
+from repro.controller.request import MemoryRequest
+
+
+class TestValidation:
+    def test_fields(self):
+        req = MemoryRequest(row=5, is_write=True, issue_ns=10.0)
+        assert req.row == 5
+        assert req.is_write
+
+    def test_negative_row_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryRequest(row=-1)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryRequest(row=0, issue_ns=-1.0)
+
+    def test_frozen(self):
+        req = MemoryRequest(row=5)
+        with pytest.raises(Exception):
+            req.row = 6

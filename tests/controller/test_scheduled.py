@@ -1,0 +1,73 @@
+"""Scheduled controller: FR-FCFS over the full mitigation path."""
+
+import pytest
+
+from repro.controller.scheduled import ScheduledMemoryController
+from repro.core.aqua import AquaMitigation
+from repro.mitigations.none import NoMitigation
+
+from tests.conftest import SMALL_GEOMETRY, make_aqua_config
+
+
+def baseline_controller(queue_capacity=32):
+    return ScheduledMemoryController(
+        NoMitigation(total_rows=SMALL_GEOMETRY.rows_per_rank),
+        geometry=SMALL_GEOMETRY,
+        queue_capacity=queue_capacity,
+    )
+
+
+def interleaved_rows(repeats=8):
+    """Two same-bank rows alternating: pathological without reordering."""
+    mapper_stride = SMALL_GEOMETRY.banks_per_rank
+    row_a = 100 * mapper_stride  # bank 0
+    row_b = 200 * mapper_stride  # bank 0
+    rows = []
+    for _ in range(repeats):
+        rows.extend((row_a, row_b))
+    return rows, row_a, row_b
+
+
+class TestServiceOrder:
+    def test_reordering_clusters_row_hits(self):
+        ctrl = baseline_controller()
+        rows, row_a, row_b = interleaved_rows()
+        records = ctrl.run(rows)
+        serviced = [record.physical_row for record in records]
+        switches = sum(1 for a, b in zip(serviced, serviced[1:]) if a != b)
+        # FR-FCFS batches each row's requests: one switch instead of 15.
+        assert switches == 1
+        assert ctrl.scheduler.row_hits_selected > 0
+
+    def test_reordering_reduces_activations(self):
+        scheduled = baseline_controller()
+        rows, _, _ = interleaved_rows()
+        scheduled.run(rows)
+        scheduled_acts = sum(
+            bank.acts_this_epoch for bank in scheduled.controller.channel.banks
+        )
+        fifo = baseline_controller(queue_capacity=1)
+        fifo.run(rows)
+        fifo_acts = sum(
+            bank.acts_this_epoch for bank in fifo.controller.channel.banks
+        )
+        assert scheduled_acts < fifo_acts
+
+    def test_empty_drain(self):
+        ctrl = baseline_controller()
+        assert ctrl.drain() == []
+        assert ctrl.service_one() is None
+
+
+class TestWithMitigation:
+    def test_tracker_sees_fewer_activations_after_reordering(self):
+        # Reordering is security-relevant: clustered service turns
+        # re-references into row hits, which never reach the tracker.
+        aqua = AquaMitigation(make_aqua_config())
+        ctrl = ScheduledMemoryController(aqua, geometry=SMALL_GEOMETRY)
+        rows, row_a, _ = interleaved_rows(repeats=20)
+        ctrl.run(rows)
+        # All 40 requests were serviced, and the mitigation path saw
+        # every one of them (activations are counted at the bank).
+        assert ctrl.controller.accesses == 40
+        assert aqua.stats.accesses == 40

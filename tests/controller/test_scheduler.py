@@ -1,0 +1,85 @@
+"""FR-FCFS scheduler: hit-first, then oldest."""
+
+import pytest
+
+from repro.controller.request import MemoryRequest
+from repro.controller.scheduler import FrFcfsScheduler
+from repro.dram.address import AddressMapper
+from repro.dram.channel import Channel
+from repro.dram.geometry import DramGeometry
+
+
+GEO = DramGeometry(banks_per_rank=4, rows_per_bank=1024)
+
+
+@pytest.fixture
+def env():
+    return Channel(geometry=GEO), AddressMapper(GEO), FrFcfsScheduler()
+
+
+def row(mapper, bank, bank_row):
+    return mapper.encode(bank, bank_row)
+
+
+class TestArbitration:
+    def test_fcfs_when_no_hits(self, env):
+        channel, mapper, sched = env
+        a = MemoryRequest(row=row(mapper, 0, 10))
+        b = MemoryRequest(row=row(mapper, 0, 20))
+        sched.enqueue(a)
+        sched.enqueue(b)
+        assert sched.select(channel, mapper) is a
+
+    def test_row_hit_jumps_the_queue(self, env):
+        channel, mapper, sched = env
+        channel.bank(0).access(20, 0.0)  # open row 20 in bank 0
+        miss = MemoryRequest(row=row(mapper, 0, 10))
+        hit = MemoryRequest(row=row(mapper, 0, 20))
+        sched.enqueue(miss)
+        sched.enqueue(hit)
+        assert sched.select(channel, mapper) is hit
+        assert sched.row_hits_selected == 1
+        assert sched.select(channel, mapper) is miss
+
+    def test_oldest_hit_wins_among_hits(self, env):
+        channel, mapper, sched = env
+        channel.bank(0).access(20, 0.0)
+        first_hit = MemoryRequest(row=row(mapper, 0, 20))
+        second_hit = MemoryRequest(row=row(mapper, 0, 20), is_write=True)
+        sched.enqueue(second_hit)  # arrives first
+        sched.enqueue(first_hit)
+        assert sched.select(channel, mapper) is second_hit
+
+    def test_empty_queue_returns_none(self, env):
+        channel, mapper, sched = env
+        assert sched.select(channel, mapper) is None
+
+
+class TestDrain:
+    def test_drain_clusters_same_row_requests(self, env):
+        channel, mapper, sched = env
+        # Interleaved arrivals to two rows of one bank: FR-FCFS
+        # services them as two clustered bursts (one row switch), not
+        # four alternations.
+        r1, r2 = row(mapper, 0, 10), row(mapper, 0, 30)
+        for target in (r1, r2, r1, r2):
+            sched.enqueue(MemoryRequest(row=target))
+        order = [req.row for req in sched.drain_order(channel, mapper)]
+        assert order == [r1, r1, r2, r2]
+        switches = sum(
+            1 for a, b in zip(order, order[1:]) if a != b
+        )
+        assert switches == 1
+
+
+class TestCapacity:
+    def test_full_queue_rejects(self):
+        sched = FrFcfsScheduler(capacity=1)
+        sched.enqueue(MemoryRequest(row=0))
+        assert sched.full
+        with pytest.raises(RuntimeError):
+            sched.enqueue(MemoryRequest(row=1))
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            FrFcfsScheduler(capacity=0)

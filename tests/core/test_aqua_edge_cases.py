@@ -1,0 +1,70 @@
+"""AQUA edge cases beyond the main lifecycle tests."""
+
+import pytest
+
+from repro.core.aqua import AquaMitigation
+from repro.core.memtables import MemoryMappedTables
+from repro.dram.refresh import EPOCH_NS
+
+from tests.conftest import make_aqua_config
+
+
+class TestExactTrackerVariant:
+    def test_exact_tracker_quarantines_precisely(self):
+        aqua = AquaMitigation(make_aqua_config(tracker="exact"))
+        for _ in range(31):
+            aqua.access(100, 0.0)
+        assert not aqua.is_quarantined(100)
+        aqua.access(100, 0.0)
+        assert aqua.is_quarantined(100)
+
+    def test_no_spurious_with_exact_tracker(self):
+        aqua = AquaMitigation(make_aqua_config(tracker="exact"))
+        for row in range(500):
+            aqua.access(500 + row, 0.0)
+        assert aqua.stats.migrations == 0
+
+
+class TestEpochSkips:
+    def test_long_idle_gap_resets_once(self):
+        # Jumping several epochs forward must not confuse the epoch
+        # bookkeeping (the ART resets, quarantines persist).
+        aqua = AquaMitigation(make_aqua_config())
+        for _ in range(32):
+            aqua.access(100, 0.0)
+        assert aqua.is_quarantined(100)
+        aqua.access(200, 5 * EPOCH_NS)
+        assert aqua.current_epoch == 5
+        assert aqua.is_quarantined(100)
+
+    def test_drain_after_long_gap(self):
+        aqua = AquaMitigation(make_aqua_config())
+        for _ in range(32):
+            aqua.access(100, 0.0)
+        aqua.access(200, 7 * EPOCH_NS)
+        assert aqua.drain_stale() == 1
+        assert not aqua.is_quarantined(100)
+
+
+class TestLocateWithoutSideEffects:
+    def test_locate_does_not_touch_lookup_stats(self):
+        aqua = AquaMitigation(make_aqua_config(table_mode="memory-mapped"))
+        for _ in range(32):
+            aqua.access(100, 0.0)
+        tables = aqua.tables
+        assert isinstance(tables, MemoryMappedTables)
+        before = dict(tables.outcome_counts)
+        reads_before = tables.dram_fpt.dram_reads
+        aqua.locate(100)
+        aqua.is_quarantined(100)
+        assert dict(tables.outcome_counts) == before
+        assert tables.dram_fpt.dram_reads == reads_before
+
+
+class TestDataTrackingDisabled:
+    def test_track_data_false_still_migrates(self):
+        aqua = AquaMitigation(make_aqua_config(track_data=False))
+        assert aqua.data is None
+        for _ in range(32):
+            aqua.access(100, 0.0)
+        assert aqua.is_quarantined(100)

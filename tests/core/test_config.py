@@ -1,0 +1,80 @@
+"""AquaConfig: derived quantities and validation."""
+
+import pytest
+
+from repro.core.config import AquaConfig
+from repro.core.sizing import rqa_rows
+
+
+class TestDefaults:
+    def test_effective_threshold_is_half(self):
+        assert AquaConfig(rowhammer_threshold=1000).effective_threshold == 500
+        assert AquaConfig(rowhammer_threshold=2000).effective_threshold == 1000
+
+    def test_default_rqa_from_equation_3(self):
+        config = AquaConfig(rowhammer_threshold=1000)
+        assert config.derived_rqa_slots == rqa_rows(500, banks=16)
+        assert config.derived_rqa_slots == 23_053
+
+    def test_rqa_override(self):
+        config = AquaConfig(rqa_slots=100)
+        assert config.derived_rqa_slots == 100
+
+    def test_dram_overhead_about_one_percent_sram_mode(self):
+        config = AquaConfig(table_mode="sram")
+        assert config.dram_overhead == pytest.approx(0.011, abs=0.001)
+
+    def test_dram_overhead_memory_mapped_adds_tables(self):
+        # Sec. V-G: +4 MB FPT (512 rows) and ~0.1 MB RPT; total 1.13%.
+        config = AquaConfig(table_mode="memory-mapped")
+        assert config.table_dram_rows >= 512
+        assert config.dram_overhead == pytest.approx(0.0113, abs=0.0005)
+
+    def test_layout_is_partition(self):
+        config = AquaConfig(table_mode="memory-mapped")
+        total = config.geometry.rows_per_rank
+        assert (
+            config.visible_rows
+            + config.table_dram_rows
+            + config.derived_rqa_slots
+            == total
+        )
+        assert config.table_base_row == config.visible_rows
+        assert config.rqa_base_row == total - config.derived_rqa_slots
+
+
+class TestValidation:
+    def test_bad_table_mode(self):
+        with pytest.raises(ValueError):
+            AquaConfig(table_mode="flash")
+
+    def test_bad_tracker(self):
+        with pytest.raises(ValueError):
+            AquaConfig(tracker="oracle")
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            AquaConfig(rowhammer_threshold=1)
+
+    def test_bad_rqa_slots(self):
+        with pytest.raises(ValueError):
+            AquaConfig(rqa_slots=0).derived_rqa_slots
+
+    def test_bad_fpt_capacity(self):
+        with pytest.raises(ValueError):
+            AquaConfig(fpt_capacity=0).derived_fpt_capacity
+
+
+class TestDerivedFptCapacity:
+    def test_default_point_uses_paper_capacity(self):
+        # 23,053-slot RQA -> the paper's 32K CAT.
+        assert AquaConfig().derived_fpt_capacity == 32 * 1024
+
+    def test_scales_with_larger_rqa(self):
+        big = AquaConfig(rqa_slots=40_000)
+        assert big.derived_fpt_capacity > 32 * 1024
+        # ~1.4x over-provisioning, rounded to bucket multiples.
+        assert big.derived_fpt_capacity >= 40_000 * 32 // 23
+
+    def test_override_wins(self):
+        assert AquaConfig(fpt_capacity=1024).derived_fpt_capacity == 1024

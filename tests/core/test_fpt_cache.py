@@ -1,0 +1,97 @@
+"""FPT-Cache: RRIP replacement, group indexing, singleton probes (Sec. V-C/D)."""
+
+import pytest
+
+from repro.core.fpt_cache import FptCache
+
+
+@pytest.fixture
+def cache():
+    return FptCache(num_entries=64, ways=4, group_size=16)
+
+
+class TestBasicCaching:
+    def test_miss_then_hit(self, cache):
+        assert cache.lookup(10) is None
+        cache.install(10, slot=3, singleton=False)
+        assert cache.lookup(10) == 3
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_install_updates_existing(self, cache):
+        cache.install(10, 3, singleton=False)
+        cache.install(10, 7, singleton=False)
+        assert cache.lookup(10) == 7
+        assert cache.occupancy() == 1
+
+    def test_invalidate(self, cache):
+        cache.install(10, 3, singleton=False)
+        assert cache.invalidate(10)
+        assert cache.lookup(10) is None
+        assert not cache.invalidate(10)
+
+
+class TestGroupIndexing:
+    def test_same_group_same_set(self, cache):
+        # All rows of a group must map to one set for the singleton
+        # second-probe to work.
+        for row in range(16):  # one full group
+            cache.install(row, row, singleton=False)
+        # With 4 ways, a 16-row group cannot all fit in one set: at
+        # most 4 survive, proving they share a set.
+        survivors = sum(1 for row in range(16) if cache.lookup(row) is not None)
+        assert survivors == 4
+
+
+class TestRripReplacement:
+    def test_victim_prefers_invalid_ways(self, cache):
+        cache.install(0, 0, singleton=False)
+        cache.install(16 * 4, 1, singleton=False)  # same set (4 sets)
+        assert cache.occupancy() == 2
+
+    def test_hot_entry_survives(self, cache):
+        cache.install(0, 0, singleton=False)
+        for _ in range(4):
+            cache.lookup(0)  # promote to rrpv 0
+        # Flood the set with same-set groups (num_sets=1 here? ensure same set)
+        for i in range(1, 6):
+            cache.install(i * 16 * cache.num_sets, i, singleton=False)
+            cache.lookup(0)
+        assert cache.lookup(0) == 0
+
+
+class TestSingleton:
+    def test_singleton_covers_group_mates(self, cache):
+        cache.install(16, slot=5, singleton=True)
+        assert cache.covered_by_singleton(17)
+        assert cache.singleton_filtered == 1
+
+    def test_singleton_does_not_cover_self(self, cache):
+        cache.install(16, slot=5, singleton=True)
+        assert not cache.covered_by_singleton(16)
+
+    def test_non_singleton_does_not_cover(self, cache):
+        cache.install(16, slot=5, singleton=False)
+        assert not cache.covered_by_singleton(17)
+
+    def test_set_group_singleton_updates_cached(self, cache):
+        cache.install(16, 5, singleton=True)
+        cache.set_group_singleton(1, False)
+        assert not cache.covered_by_singleton(17)
+        cache.set_group_singleton(1, True)
+        assert cache.covered_by_singleton(17)
+
+    def test_other_group_not_covered(self, cache):
+        cache.install(16, slot=5, singleton=True)
+        assert not cache.covered_by_singleton(33)
+
+
+class TestSizing:
+    def test_default_is_16kb(self):
+        cache = FptCache(num_entries=4096, ways=16)
+        assert cache.sram_bytes == 16 * 1024
+        assert cache.num_sets == 256
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            FptCache(num_entries=65, ways=4)

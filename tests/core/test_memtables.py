@@ -1,0 +1,172 @@
+"""Table backends: SRAM vs memory-mapped lookup chains (Fig. 8/10)."""
+
+import pytest
+
+from repro.core.memtables import (
+    LookupOutcome,
+    MemoryMappedTables,
+    SramTables,
+)
+
+
+@pytest.fixture
+def tables():
+    return MemoryMappedTables(
+        total_rows=512,
+        rqa_slots=32,
+        bloom_group_size=16,
+        fpt_cache_entries=64,
+        table_base_row=400,
+    )
+
+
+class TestSramBackend:
+    def test_lookup_chain(self):
+        tables = SramTables(rqa_slots=32)
+        assert tables.lookup(5).slot is None
+        tables.on_quarantine(5, 9)
+        lookup = tables.lookup(5)
+        assert lookup.slot == 9
+        assert lookup.outcome is LookupOutcome.SRAM
+        tables.on_release(5)
+        assert tables.lookup(5).slot is None
+
+    def test_sram_bytes_positive(self):
+        assert SramTables(rqa_slots=23_053).sram_bytes() > 150 * 1024
+
+    def test_batch_lookup_weights_stats(self):
+        tables = SramTables(rqa_slots=32)
+        tables.on_quarantine(5, 9)
+        lookup = tables.lookup_batch(5, 10)
+        assert lookup.slot == 9
+        assert tables.fpt.lookups == 10
+        assert tables.fpt.hits == 10
+        tables.lookup_batch(6, 4)
+        assert tables.fpt.lookups == 14
+        assert tables.fpt.hits == 10
+
+
+class TestMemoryMappedChain:
+    def test_bloom_filters_non_quarantined(self, tables):
+        lookup = tables.lookup(100)
+        assert lookup.outcome is LookupOutcome.BLOOM_FILTERED
+        assert lookup.slot is None
+        assert lookup.dram_accesses == 0
+
+    def test_quarantine_then_cache_hit(self, tables):
+        tables.on_quarantine(100, 7)
+        lookup = tables.lookup(100)
+        assert lookup.slot == 7
+        assert lookup.outcome is LookupOutcome.CACHE_HIT
+
+    def test_dram_access_after_cache_invalidation(self, tables):
+        tables.on_quarantine(100, 7)
+        tables.cache.invalidate(100)
+        lookup = tables.lookup(100)
+        assert lookup.slot == 7
+        assert lookup.outcome is LookupOutcome.DRAM_ACCESS
+        assert lookup.dram_accesses == 1
+        assert lookup.table_row is not None
+        # And the entry is re-cached now.
+        assert tables.lookup(100).outcome is LookupOutcome.CACHE_HIT
+
+    def test_singleton_filters_group_mates(self, tables):
+        tables.on_quarantine(100, 7)  # group of rows 96..111
+        lookup = tables.lookup(101)
+        assert lookup.slot is None
+        assert lookup.outcome is LookupOutcome.SINGLETON
+
+    def test_multi_entry_group_goes_to_dram(self, tables):
+        tables.on_quarantine(100, 7)
+        tables.on_quarantine(101, 8)
+        lookup = tables.lookup(102)
+        assert lookup.outcome is LookupOutcome.DRAM_ACCESS
+        assert lookup.slot is None
+        assert tables.false_positive_dram_lookups == 1
+
+    def test_false_positive_singleton_installs_from_line(self, tables):
+        # A FP DRAM read in a singleton group installs the group's
+        # entry, so the next FP access singleton-filters.
+        tables.on_quarantine(100, 7)
+        tables.cache.invalidate(100)
+        first = tables.lookup(101)
+        assert first.outcome is LookupOutcome.DRAM_ACCESS
+        second = tables.lookup(102)
+        assert second.outcome is LookupOutcome.SINGLETON
+
+
+class TestRelease:
+    def test_release_restores_bloom_filtering(self, tables):
+        tables.on_quarantine(100, 7)
+        tables.on_release(100)
+        assert tables.lookup(100).outcome is LookupOutcome.BLOOM_FILTERED
+
+    def test_release_restores_singleton_of_survivor(self, tables):
+        tables.on_quarantine(100, 7)
+        tables.on_quarantine(101, 8)
+        tables.on_release(100)
+        # 101 is the group's sole survivor; accesses to 102 should
+        # singleton-filter via 101's cached entry.
+        tables.lookup(101)  # ensure cached
+        assert tables.lookup(102).outcome in (
+            LookupOutcome.SINGLETON,
+            LookupOutcome.DRAM_ACCESS,
+        )
+
+    def test_release_of_unmapped_row_is_noop(self, tables):
+        assert tables.on_release(55) == 0.0
+
+
+class TestBatchWeighting:
+    def test_batch_bloom_filtered(self, tables):
+        tables.lookup_batch(100, 10)
+        assert tables.outcome_counts[LookupOutcome.BLOOM_FILTERED] == 10
+
+    def test_batch_quarantined_row_counts_cache_hits(self, tables):
+        tables.on_quarantine(100, 7)
+        tables.cache.invalidate(100)
+        tables.lookup_batch(100, 10)
+        assert tables.outcome_counts[LookupOutcome.DRAM_ACCESS] == 1
+        assert tables.outcome_counts[LookupOutcome.CACHE_HIT] == 9
+
+    def test_batch_fp_multi_group_counts_dram(self, tables):
+        tables.on_quarantine(100, 7)
+        tables.on_quarantine(101, 8)
+        lookup = tables.lookup_batch(102, 5)
+        assert tables.outcome_counts[LookupOutcome.DRAM_ACCESS] == 5
+        assert lookup.dram_accesses == 5
+
+    def test_breakdown_sums_to_one(self, tables):
+        tables.on_quarantine(100, 7)
+        tables.lookup_batch(100, 5)
+        tables.lookup_batch(3, 5)
+        breakdown = tables.lookup_breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+
+
+class TestInternalMigrationUpdates:
+    def test_requarantine_updates_slot_without_double_bloom(self, tables):
+        # Internal migration: same row moves to a new slot.  The bloom
+        # group count must stay 1 (one valid entry) and lookups must
+        # resolve to the new slot.
+        tables.on_quarantine(100, 7)
+        tables.on_quarantine(100, 9)
+        assert tables.bloom.group_valid_count(100) == 1
+        assert tables.lookup(100).slot == 9
+        tables.on_release(100)
+        assert tables.bloom.group_valid_count(100) == 0
+        assert tables.lookup(100).outcome is LookupOutcome.BLOOM_FILTERED
+
+
+class TestTableRowPlacement:
+    def test_table_row_is_in_table_region(self, tables):
+        tables.on_quarantine(100, 7)
+        tables.cache.invalidate(100)
+        lookup = tables.lookup(100)
+        assert lookup.table_row >= 400
+
+    def test_no_placement_means_no_table_row(self):
+        tables = MemoryMappedTables(total_rows=512, rqa_slots=32)
+        tables.on_quarantine(100, 7)
+        tables.cache.invalidate(100)
+        assert tables.lookup(100).table_row is None

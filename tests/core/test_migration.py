@@ -1,0 +1,30 @@
+"""Migration cost model: the Sec. IV-D latency arithmetic."""
+
+import pytest
+
+from repro.core.migration import DEFAULT_COSTS, MigrationCosts
+
+
+class TestDefaultCosts:
+    def test_transfer_685ns(self):
+        assert DEFAULT_COSTS.transfer_ns == pytest.approx(685.0)
+
+    def test_migration_1_37us(self):
+        assert DEFAULT_COSTS.migration_ns == pytest.approx(1370.0)
+
+    def test_eviction_path_2_74us(self):
+        assert DEFAULT_COSTS.migration_with_eviction_ns == pytest.approx(
+            2740.0
+        )
+
+    def test_rrs_swap_costs_double(self):
+        # A swap moves two rows: 2x the one-way AQUA migration.
+        assert DEFAULT_COSTS.swap_ns == pytest.approx(
+            2 * DEFAULT_COSTS.migration_ns
+        )
+
+
+class TestScaling:
+    def test_smaller_rows_cost_less(self):
+        small = MigrationCosts.for_row(row_bytes=2 * 1024)
+        assert small.migration_ns < DEFAULT_COSTS.migration_ns

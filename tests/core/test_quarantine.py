@@ -1,0 +1,97 @@
+"""Row Quarantine Area: circular allocation, lazy drain, reuse guard."""
+
+import pytest
+
+from repro.core.quarantine import RowQuarantineArea, RqaExhaustedError
+
+
+class TestCircularAllocation:
+    def test_allocations_advance_head(self):
+        rqa = RowQuarantineArea(num_slots=4)
+        slots = [rqa.allocate(row, epoch=0).slot for row in (10, 11, 12)]
+        assert slots == [0, 1, 2]
+        assert rqa.head == 3
+
+    def test_head_wraps(self):
+        rqa = RowQuarantineArea(num_slots=2)
+        rqa.allocate(1, epoch=0)
+        rqa.allocate(2, epoch=0)
+        allocation = rqa.allocate(3, epoch=1)
+        assert allocation.slot == 0
+
+    def test_occupancy(self):
+        rqa = RowQuarantineArea(num_slots=4)
+        rqa.allocate(1, epoch=0)
+        rqa.allocate(2, epoch=0)
+        assert rqa.occupancy() == 2
+
+
+class TestLazyDrain:
+    def test_stale_resident_is_evicted_on_reuse(self):
+        rqa = RowQuarantineArea(num_slots=2)
+        rqa.allocate(10, epoch=0)
+        rqa.allocate(11, epoch=0)
+        allocation = rqa.allocate(12, epoch=1)
+        assert allocation.evicted_row == 10
+        assert rqa.evictions == 1
+        assert rqa.resident_row(0) == 12
+
+    def test_fresh_slot_has_no_eviction(self):
+        rqa = RowQuarantineArea(num_slots=4)
+        assert rqa.allocate(10, epoch=0).evicted_row is None
+
+    def test_stale_slots_listing(self):
+        rqa = RowQuarantineArea(num_slots=4)
+        rqa.allocate(10, epoch=0)
+        rqa.allocate(11, epoch=1)
+        assert rqa.stale_slots(current_epoch=1) == [0]
+
+
+class TestReuseGuard:
+    def test_same_epoch_reuse_raises(self):
+        rqa = RowQuarantineArea(num_slots=2)
+        rqa.allocate(1, epoch=0)
+        rqa.allocate(2, epoch=0)
+        with pytest.raises(RqaExhaustedError):
+            rqa.allocate(3, epoch=0)
+
+    def test_released_slot_still_guarded_within_epoch(self):
+        # A slot vacated by an internal migration must sit out the rest
+        # of its fill epoch.
+        rqa = RowQuarantineArea(num_slots=2)
+        rqa.allocate(1, epoch=0)
+        rqa.allocate(2, epoch=0)
+        rqa.release(0)
+        with pytest.raises(RqaExhaustedError):
+            rqa.allocate(3, epoch=0)
+
+    def test_next_epoch_reuse_allowed(self):
+        rqa = RowQuarantineArea(num_slots=1)
+        rqa.allocate(1, epoch=0)
+        allocation = rqa.allocate(2, epoch=1)
+        assert allocation.slot == 0
+        assert allocation.evicted_row == 1
+
+
+class TestRelease:
+    def test_release_returns_row(self):
+        rqa = RowQuarantineArea(num_slots=2)
+        rqa.allocate(5, epoch=0)
+        assert rqa.release(0) == 5
+        assert rqa.occupancy() == 0
+
+    def test_release_empty_slot(self):
+        rqa = RowQuarantineArea(num_slots=2)
+        assert rqa.release(1) is None
+
+
+class TestValidation:
+    def test_zero_slots_rejected(self):
+        with pytest.raises(ValueError):
+            RowQuarantineArea(0)
+
+    def test_mismatched_rpt_rejected(self):
+        from repro.core.rpt import ReversePointerTable
+
+        with pytest.raises(ValueError):
+            RowQuarantineArea(4, rpt=ReversePointerTable(8))

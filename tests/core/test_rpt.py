@@ -1,0 +1,67 @@
+"""Reverse-Pointer Table: slot bookkeeping and epoch retention."""
+
+import pytest
+
+from repro.core.rpt import ReversePointerTable
+
+
+@pytest.fixture
+def rpt():
+    return ReversePointerTable(num_slots=8)
+
+
+class TestInstallInvalidate:
+    def test_install_and_resident(self, rpt):
+        rpt.install(3, row_id=42, epoch=1)
+        assert rpt.is_valid(3)
+        assert rpt.resident_row(3) == 42
+        assert rpt.entry(3).epoch == 1
+
+    def test_invalidate_returns_row(self, rpt):
+        rpt.install(3, 42, 1)
+        assert rpt.invalidate(3) == 42
+        assert not rpt.is_valid(3)
+        assert rpt.resident_row(3) is None
+
+    def test_invalidate_empty_slot(self, rpt):
+        assert rpt.invalidate(0) is None
+
+    def test_epoch_retained_after_invalidate(self, rpt):
+        # The no-intra-epoch-reuse rule applies to freed slots too.
+        rpt.install(3, 42, 7)
+        rpt.invalidate(3)
+        assert rpt.entry(3).epoch == 7
+
+    def test_valid_count(self, rpt):
+        rpt.install(0, 1, 0)
+        rpt.install(1, 2, 0)
+        rpt.invalidate(0)
+        assert rpt.valid_count() == 1
+
+
+class TestValidation:
+    def test_slot_bounds(self, rpt):
+        with pytest.raises(ValueError):
+            rpt.entry(8)
+        with pytest.raises(ValueError):
+            rpt.install(-1, 0, 0)
+
+    def test_negative_row_rejected(self, rpt):
+        with pytest.raises(ValueError):
+            rpt.install(0, -5, 0)
+
+    def test_zero_slots_rejected(self):
+        with pytest.raises(ValueError):
+            ReversePointerTable(0)
+
+
+class TestStorageModel:
+    def test_sram_bytes_matches_paper(self):
+        # Sec. IV-C: 23K entries at 22 bits each ~= 64 KB.
+        size_kb = ReversePointerTable.sram_bytes(23_053, 21) / 1024
+        assert size_kb == pytest.approx(64, rel=0.05)
+
+    def test_dram_bytes_matches_paper(self):
+        # Sec. V-A: RPT in DRAM is ~0.1 MB.
+        size_mb = ReversePointerTable.dram_bytes(23_053) / (1024 * 1024)
+        assert size_mb == pytest.approx(0.1, rel=0.2)

@@ -1,0 +1,77 @@
+"""RQA sizing: Equations 1-3 and the exact Table III values."""
+
+import pytest
+
+from repro.core.sizing import (
+    RqaSizing,
+    TABLE_III_THRESHOLDS,
+    aggression_time_ns,
+    batch_time_ns,
+    default_rqa_rows,
+    rqa_rows,
+    table_iii,
+)
+
+
+class TestEquations:
+    def test_eq1_aggression_time(self):
+        # 500 activations x 45 ns = 22.5 us.
+        assert aggression_time_ns(500) == pytest.approx(22_500.0)
+
+    def test_eq2_batch_time(self):
+        # t_AGG + 16 banks x 1.37 us.
+        assert batch_time_ns(500, banks=16) == pytest.approx(
+            22_500.0 + 16 * 1370.0
+        )
+
+    def test_eq3_rows_at_default_point(self):
+        # The headline number: 23,053 rows at A=500 (Sec. IV-E).
+        assert rqa_rows(500, banks=16) == 23_053
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            aggression_time_ns(0)
+
+    def test_invalid_banks(self):
+        with pytest.raises(ValueError):
+            batch_time_ns(500, banks=0)
+
+
+class TestTableIII:
+    # The exact (threshold -> rows) pairs printed in Table III.
+    PAPER_ROWS = {
+        1000: 15_302,
+        500: 23_053,
+        250: 30_872,
+        125: 37_176,
+        50: 42_367,
+        1: 46_620,
+    }
+
+    @pytest.mark.parametrize("threshold,rows", sorted(PAPER_ROWS.items()))
+    def test_rows_match_paper(self, threshold, rows):
+        assert rqa_rows(threshold, banks=16) == rows
+
+    def test_table_iii_order(self):
+        table = table_iii()
+        assert [row.effective_threshold for row in table] == list(
+            TABLE_III_THRESHOLDS
+        )
+
+    def test_dram_overhead_at_default_is_1_1_percent(self):
+        sizing = RqaSizing.for_threshold(500)
+        assert sizing.dram_overhead == pytest.approx(0.011, abs=0.0005)
+        assert sizing.size_mb == pytest.approx(180, rel=0.01)
+
+    def test_overhead_bounded_even_at_threshold_one(self):
+        # Sec. IV-E: even at an effective threshold of 1, <= 2.2%.
+        sizing = RqaSizing.for_threshold(1)
+        assert sizing.dram_overhead <= 0.023
+
+
+class TestDefaults:
+    def test_default_uses_half_threshold(self):
+        assert default_rqa_rows(1000) == rqa_rows(500)
+
+    def test_lower_threshold_needs_more_rows(self):
+        assert rqa_rows(125) > rqa_rows(500) > rqa_rows(1000)

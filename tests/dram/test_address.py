@@ -1,0 +1,87 @@
+"""Address mapping: interleaving, encode/decode round trips, adjacency."""
+
+import pytest
+
+from repro.dram.address import AddressMapper
+from repro.dram.geometry import DramGeometry, DEFAULT_GEOMETRY
+
+
+@pytest.fixture
+def mapper():
+    return AddressMapper(DEFAULT_GEOMETRY)
+
+
+class TestInterleaved:
+    def test_consecutive_rows_round_robin_banks(self, mapper):
+        banks = [mapper.bank_of(row) for row in range(16)]
+        assert banks == list(range(16))
+
+    def test_encode_decode_round_trip(self, mapper):
+        for row_id in (0, 1, 12345, DEFAULT_GEOMETRY.rows_per_rank - 1):
+            bank = mapper.bank_of(row_id)
+            bank_row = mapper.bank_row_of(row_id)
+            assert mapper.encode(bank, bank_row) == row_id
+
+    def test_decode_fields(self, mapper):
+        addr = mapper.decode(17)
+        assert addr.bank == 17 % 16
+        assert addr.row == 17 // 16
+
+
+class TestBlocked:
+    def test_blocked_policy_contiguous(self):
+        mapper = AddressMapper(DEFAULT_GEOMETRY, policy="blocked")
+        rows_per_bank = DEFAULT_GEOMETRY.rows_per_bank
+        assert mapper.bank_of(0) == 0
+        assert mapper.bank_of(rows_per_bank - 1) == 0
+        assert mapper.bank_of(rows_per_bank) == 1
+
+    def test_blocked_round_trip(self):
+        mapper = AddressMapper(DEFAULT_GEOMETRY, policy="blocked")
+        for row_id in (0, 99, 2**20):
+            assert mapper.encode(
+                mapper.bank_of(row_id), mapper.bank_row_of(row_id)
+            ) == row_id
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            AddressMapper(DEFAULT_GEOMETRY, policy="bogus")
+
+
+class TestNeighbors:
+    def test_neighbors_are_same_bank(self, mapper):
+        row = mapper.encode(5, 100)
+        for neighbor in mapper.neighbors(row):
+            assert mapper.bank_of(neighbor) == 5
+
+    def test_distance_one(self, mapper):
+        row = mapper.encode(3, 50)
+        neighbors = mapper.neighbors(row)
+        assert mapper.encode(3, 49) in neighbors
+        assert mapper.encode(3, 51) in neighbors
+        assert len(neighbors) == 2
+
+    def test_distance_two(self, mapper):
+        row = mapper.encode(3, 50)
+        neighbors = mapper.neighbors(row, distance=2)
+        assert mapper.encode(3, 48) in neighbors
+        assert mapper.encode(3, 52) in neighbors
+
+    def test_edge_rows_have_one_neighbor(self, mapper):
+        bottom = mapper.encode(0, 0)
+        assert len(mapper.neighbors(bottom)) == 1
+        top = mapper.encode(0, DEFAULT_GEOMETRY.rows_per_bank - 1)
+        assert len(mapper.neighbors(top)) == 1
+
+    def test_invalid_distance(self, mapper):
+        with pytest.raises(ValueError):
+            mapper.neighbors(0, distance=0)
+
+
+class TestByteAddresses:
+    def test_byte_address_round_trip(self, mapper):
+        row = 12345
+        address = mapper.byte_address_of_row(row)
+        assert mapper.row_of_byte_address(address) == row
+        assert mapper.row_of_byte_address(address + 8191) == row
+        assert mapper.row_of_byte_address(address + 8192) == row + 1

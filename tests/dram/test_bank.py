@@ -1,0 +1,64 @@
+"""Bank state machine: row-buffer semantics and ACT-to-ACT timing."""
+
+import pytest
+
+from repro.dram.bank import BankState
+from repro.dram.timing import DDR4_2400
+
+
+@pytest.fixture
+def bank():
+    return BankState()
+
+
+class TestRowBuffer:
+    def test_first_access_is_miss(self, bank):
+        assert not bank.is_hit(10)
+        bank.access(10, 0.0)
+        assert bank.acts_this_epoch == 1
+
+    def test_repeat_access_is_hit(self, bank):
+        bank.access(10, 0.0)
+        done = bank.access(10, 1000.0)
+        assert bank.acts_this_epoch == 1
+        assert bank.row_hits_this_epoch == 1
+        assert done == pytest.approx(1000.0 + DDR4_2400.tcl_ns)
+
+    def test_conflict_reopens_row(self, bank):
+        bank.access(10, 0.0)
+        bank.access(11, 1000.0)
+        assert bank.open_row == 11
+        assert bank.acts_this_epoch == 2
+
+
+class TestTiming:
+    def test_miss_latency_includes_precharge_activate_cas(self, bank):
+        t = DDR4_2400
+        done = bank.access(10, 0.0)
+        assert done == pytest.approx(t.trp_ns + t.trcd_ns + t.tcl_ns)
+
+    def test_act_to_act_respects_trc(self, bank):
+        first = bank.activate(1, 0.0)
+        second = bank.activate(2, 0.0)
+        assert second - first == pytest.approx(DDR4_2400.trc_ns)
+
+    def test_activation_after_gap_starts_immediately(self, bank):
+        bank.activate(1, 0.0)
+        start = bank.activate(2, 1_000.0)
+        assert start == pytest.approx(1_000.0)
+
+
+class TestEpoch:
+    def test_reset_clears_counters_and_precharges(self, bank):
+        bank.access(10, 0.0)
+        bank.access(10, 100.0)
+        bank.reset_epoch()
+        assert bank.acts_this_epoch == 0
+        assert bank.row_hits_this_epoch == 0
+        assert bank.open_row == -1
+
+    def test_precharge_forces_next_miss(self, bank):
+        bank.access(10, 0.0)
+        bank.precharge()
+        bank.access(10, 1000.0)
+        assert bank.acts_this_epoch == 2

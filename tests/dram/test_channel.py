@@ -1,0 +1,48 @@
+"""Channel model: bank ownership and migration busy-time accounting."""
+
+import pytest
+
+from repro.dram.channel import Channel
+from repro.dram.geometry import DramGeometry
+
+
+@pytest.fixture
+def channel():
+    return Channel(geometry=DramGeometry(banks_per_rank=4, rows_per_bank=1024))
+
+
+class TestBanks:
+    def test_one_bank_state_per_bank(self, channel):
+        assert len(channel.banks) == 4
+        assert channel.bank(0) is not channel.bank(1)
+
+
+class TestMigrationReservation:
+    def test_reservation_accumulates_busy_time(self, channel):
+        end = channel.reserve_for_migration(0.0, 1370.0)
+        assert end == pytest.approx(1370.0)
+        assert channel.migration_busy_ns == pytest.approx(1370.0)
+        assert channel.migrations == 1
+
+    def test_reservations_serialize(self, channel):
+        channel.reserve_for_migration(0.0, 1370.0)
+        end = channel.reserve_for_migration(100.0, 1370.0)
+        # Second migration queues behind the first.
+        assert end == pytest.approx(2740.0)
+
+    def test_earliest_issue_respects_busy_until(self, channel):
+        channel.reserve_for_migration(0.0, 1000.0)
+        assert channel.earliest_issue(500.0) == pytest.approx(1000.0)
+        assert channel.earliest_issue(2000.0) == pytest.approx(2000.0)
+
+
+class TestEpochReset:
+    def test_reset_clears_bank_epoch_counters(self, channel):
+        channel.bank(0).access(5, 0.0)
+        channel.reset_epoch()
+        assert channel.bank(0).acts_this_epoch == 0
+
+    def test_reset_keeps_migration_totals(self, channel):
+        channel.reserve_for_migration(0.0, 1370.0)
+        channel.reset_epoch()
+        assert channel.migrations == 1

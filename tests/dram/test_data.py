@@ -1,0 +1,56 @@
+"""Row-content store: the data-integrity contract of migrations."""
+
+from repro.dram.data import RowDataStore
+
+
+class TestReadWrite:
+    def test_unwritten_rows_read_none(self):
+        store = RowDataStore()
+        assert store.read(42) is None
+
+    def test_write_then_read(self):
+        store = RowDataStore()
+        store.write(42, "payload")
+        assert store.read(42) == "payload"
+        assert len(store) == 1
+
+
+class TestMove:
+    def test_move_transfers_and_clears_source(self):
+        store = RowDataStore()
+        store.write(1, "a")
+        store.move(1, 2)
+        assert store.read(2) == "a"
+        assert store.read(1) is None
+
+    def test_move_of_empty_row_clears_destination(self):
+        store = RowDataStore()
+        store.write(2, "stale")
+        store.move(1, 2)
+        assert store.read(2) is None
+
+
+class TestSwap:
+    def test_swap_exchanges(self):
+        store = RowDataStore()
+        store.write(1, "a")
+        store.write(2, "b")
+        store.swap(1, 2)
+        assert store.read(1) == "b"
+        assert store.read(2) == "a"
+
+    def test_swap_with_empty_side(self):
+        store = RowDataStore()
+        store.write(1, "a")
+        store.swap(1, 2)
+        assert store.read(1) is None
+        assert store.read(2) == "a"
+
+    def test_double_swap_is_identity(self):
+        store = RowDataStore()
+        store.write(1, "a")
+        store.write(2, "b")
+        store.swap(1, 2)
+        store.swap(1, 2)
+        assert store.read(1) == "a"
+        assert store.read(2) == "b"

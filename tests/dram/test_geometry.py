@@ -1,0 +1,47 @@
+"""Geometry arithmetic: the 16 GB baseline of Table I."""
+
+import pytest
+
+from repro.dram.geometry import DramGeometry, DEFAULT_GEOMETRY, RowAddress
+
+
+class TestDefaultGeometry:
+    def test_two_million_rows_per_rank(self):
+        assert DEFAULT_GEOMETRY.rows_per_rank == 2 * 1024 * 1024
+
+    def test_sixteen_gb_rank(self):
+        assert DEFAULT_GEOMETRY.rank_bytes == 16 * 1024**3
+
+    def test_banks_and_rows(self):
+        assert DEFAULT_GEOMETRY.banks_per_rank == 16
+        assert DEFAULT_GEOMETRY.rows_per_bank == 128 * 1024
+
+    def test_row_pointer_is_21_bits(self):
+        # Sec. IV-C: the RPT holds 21-bit reverse pointers.
+        assert DEFAULT_GEOMETRY.row_pointer_bits == 21
+
+    def test_bank_pointer_bits(self):
+        assert DEFAULT_GEOMETRY.bank_pointer_bits() == 4
+
+
+class TestValidation:
+    def test_validate_row_accepts_bounds(self):
+        DEFAULT_GEOMETRY.validate_row(0)
+        DEFAULT_GEOMETRY.validate_row(DEFAULT_GEOMETRY.rows_per_rank - 1)
+
+    def test_validate_row_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            DEFAULT_GEOMETRY.validate_row(DEFAULT_GEOMETRY.rows_per_rank)
+        with pytest.raises(ValueError):
+            DEFAULT_GEOMETRY.validate_row(-1)
+
+
+class TestCustomGeometry:
+    def test_total_rows_scales_with_channels(self):
+        geo = DramGeometry(channels=2, ranks_per_channel=2)
+        assert geo.total_rows == 4 * geo.rows_per_rank
+
+    def test_row_address_tuple(self):
+        addr = RowAddress(channel=0, rank=0, bank=3, row=17)
+        assert addr.bank == 3
+        assert addr.row == 17

@@ -1,0 +1,47 @@
+"""Refresh scheduler: epoch indexing and refresh overhead."""
+
+import pytest
+
+from repro.dram.refresh import EPOCH_NS, RefreshScheduler
+
+
+@pytest.fixture
+def scheduler():
+    return RefreshScheduler()
+
+
+class TestEpochIndexing:
+    def test_epoch_zero(self, scheduler):
+        assert scheduler.epoch_of(0.0) == 0
+        assert scheduler.epoch_of(EPOCH_NS - 1) == 0
+
+    def test_epoch_boundary(self, scheduler):
+        assert scheduler.epoch_of(EPOCH_NS) == 1
+        assert scheduler.epoch_of(2.5 * EPOCH_NS) == 2
+
+    def test_epoch_start_end(self, scheduler):
+        assert scheduler.epoch_start(3) == pytest.approx(3 * EPOCH_NS)
+        assert scheduler.epoch_end(3) == pytest.approx(4 * EPOCH_NS)
+
+    def test_time_into_epoch(self, scheduler):
+        assert scheduler.time_into_epoch(EPOCH_NS + 42.0) == pytest.approx(42.0)
+
+    def test_negative_time_rejected(self, scheduler):
+        with pytest.raises(ValueError):
+            scheduler.epoch_of(-1.0)
+
+
+class TestCrossing:
+    def test_crossed_epoch_detection(self, scheduler):
+        assert scheduler.crossed_epoch(EPOCH_NS - 1, EPOCH_NS + 1)
+        assert not scheduler.crossed_epoch(10.0, 20.0)
+
+
+class TestRefreshOverhead:
+    def test_busy_fraction_matches_trfc_trefi(self, scheduler):
+        busy = scheduler.refresh_busy_ns(EPOCH_NS)
+        assert busy / EPOCH_NS == pytest.approx(350.0 / 7800.0, rel=1e-6)
+
+    def test_negative_interval_rejected(self, scheduler):
+        with pytest.raises(ValueError):
+            scheduler.refresh_busy_ns(-1.0)

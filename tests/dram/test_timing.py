@@ -1,0 +1,60 @@
+"""DDR4 timing constants and the paper's derived quantities (Sec. II-B, IV-D)."""
+
+import pytest
+
+from repro.dram.timing import DDR4Timing, DDR4_2400
+
+
+class TestDefaults:
+    def test_table_i_values(self):
+        t = DDR4_2400
+        assert t.trc_ns == 45.0
+        assert t.trcd_ns == t.tcl_ns == t.trp_ns == 14.2
+        assert t.tccd_s_ns == 3.3
+        assert t.tccd_l_ns == 5.0
+
+    def test_refresh_window_is_64ms(self):
+        assert DDR4_2400.trefw_ns == 64_000_000.0
+
+    def test_refresh_interval_and_cycle(self):
+        assert DDR4_2400.trefi_ns == 7_800.0
+        assert DDR4_2400.trfc_ns == 350.0
+
+
+class TestDerived:
+    def test_act_max_matches_paper(self):
+        # Sec. II-B: ACTmax = tREFW (1 - tRFC/tREFI) / tRC ~ 1360K.
+        assert DDR4_2400.act_max == pytest.approx(1_360_000, rel=0.01)
+
+    def test_refresh_availability(self):
+        assert DDR4_2400.refresh_availability == pytest.approx(
+            1 - 350.0 / 7800.0
+        )
+
+    def test_row_transfer_is_685ns(self):
+        # Sec. IV-D: 45ns activation + 128 lines x 5ns = 685ns.
+        assert DDR4_2400.row_transfer_ns(8 * 1024) == pytest.approx(685.0)
+
+    def test_migration_is_1_37us(self):
+        assert DDR4_2400.migration_ns(8 * 1024) == pytest.approx(1370.0)
+
+    def test_migration_with_eviction_is_2_74us(self):
+        assert DDR4_2400.migration_with_eviction_ns(8 * 1024) == pytest.approx(
+            2740.0
+        )
+
+    def test_transfer_scales_with_row_size(self):
+        half = DDR4_2400.row_transfer_ns(4 * 1024)
+        full = DDR4_2400.row_transfer_ns(8 * 1024)
+        assert half < full
+        assert full - half == pytest.approx(64 * 5.0)
+
+
+class TestCustomTiming:
+    def test_faster_part_changes_act_max(self):
+        fast = DDR4Timing(trc_ns=30.0)
+        assert fast.act_max > DDR4_2400.act_max
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DDR4_2400.trc_ns = 50.0

@@ -1,0 +1,64 @@
+"""AQUA with the Hydra tracker (Appendix B): end-to-end behaviour.
+
+AQUA is tracker-agnostic; pairing it with Hydra trades the Misra-Gries
+SRAM for hybrid SRAM/DRAM counters.  The quarantine behaviour must be
+identical in kind: hammered rows still migrate before T_RH.
+"""
+
+import pytest
+
+from repro.attacks import patterns
+from repro.attacks.adversary import AttackHarness
+from repro.core.aqua import AquaMitigation
+
+from tests.conftest import SMALL_GEOMETRY, at_epoch, make_aqua_config
+
+
+def make_hydra_aqua(trh=64, **kwargs):
+    return AquaMitigation(
+        make_aqua_config(rowhammer_threshold=trh, tracker="hydra", **kwargs)
+    )
+
+
+class TestQuarantineWithHydra:
+    def test_hammered_row_quarantined(self):
+        aqua = make_hydra_aqua()
+        for _ in range(64):  # Hydra engages per-row counters mid-way
+            aqua.access(100, 0.0)
+        assert aqua.is_quarantined(100)
+        assert aqua.stats.migrations >= 1
+
+    def test_cold_rows_untouched(self):
+        aqua = make_hydra_aqua()
+        # One access each, spread across distinct Hydra groups (128
+        # rows per group) so group counters do not alias.
+        for i in range(60):
+            aqua.access(200 + i * 128, 0.0)
+        assert aqua.stats.migrations == 0
+
+    def test_epoch_reset(self):
+        aqua = make_hydra_aqua()
+        for _ in range(20):
+            aqua.access(100, at_epoch(0))
+        aqua.access(100, at_epoch(1))
+        assert aqua.tracker.estimate(100) <= 21
+
+
+class TestSecurityWithHydra:
+    def test_invariant_under_single_sided(self):
+        trh = 128
+        harness = AttackHarness(
+            make_hydra_aqua(trh=trh, rqa_slots=512),
+            rowhammer_threshold=trh,
+            geometry=SMALL_GEOMETRY,
+        )
+        pattern = patterns.single_sided(harness.mapper, 1, 100, 3000)
+        report = harness.run(pattern)
+        assert not report.succeeded
+        assert harness.invariant_holds()
+
+    def test_dram_counter_traffic_is_counted(self):
+        aqua = make_hydra_aqua()
+        for _ in range(64):
+            aqua.access(100, 0.0)
+        assert aqua.tracker.rct_dram_accesses >= 1

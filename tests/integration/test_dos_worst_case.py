@@ -1,0 +1,71 @@
+"""Denial-of-service headroom: Sec. VI-C and the Blockhammer pathology.
+
+AQUA's worst case: an attacker forcing a quarantine (with eviction)
+every ``A`` activations in every bank keeps the channel busy, but the
+slowdown is bounded at ~2.95x.  Blockhammer's worst case on a benign
+conflict pattern is ~1280x at T_RH = 1K.
+"""
+
+import pytest
+
+from repro.attacks import patterns
+from repro.attacks.adversary import AttackHarness
+from repro.core.aqua import AquaMitigation
+from repro.mitigations.blockhammer import Blockhammer
+
+from tests.conftest import SMALL_GEOMETRY, make_aqua_config
+
+
+class TestAquaDos:
+    def test_dos_slowdown_bounded_near_three_x(self):
+        trh = 128
+        harness = AttackHarness(
+            AquaMitigation(
+                make_aqua_config(rowhammer_threshold=trh, rqa_slots=2048)
+            ),
+            rowhammer_threshold=trh,
+            geometry=SMALL_GEOMETRY,
+        )
+        pattern = patterns.dos_pattern(
+            harness.mapper,
+            threshold=trh // 2,
+            rows_per_bank_used=8,
+        )
+        report = harness.run(pattern)
+        assert report.migrations >= 8 * SMALL_GEOMETRY.banks_per_rank
+        # Bounded DoS: the analytical worst case is ~2.95x; allow head
+        # room for the discrete simulation.
+        assert report.slowdown < 4.0
+        assert not report.succeeded
+        assert harness.invariant_holds()
+
+    def test_analytical_worst_case(self):
+        # Sec. VI-C arithmetic at the paper's design point: 16 banks
+        # trigger every 22.5 us, each mitigation moving two rows.
+        t_trigger = 500 * 45.0
+        busy = 16 * 2 * 1370.0
+        slowdown = (t_trigger + busy) / t_trigger
+        assert slowdown == pytest.approx(2.95, abs=0.05)
+
+
+class TestBlockhammerDos:
+    def test_benign_conflict_pattern_heavily_throttled(self):
+        bh = Blockhammer(
+            rowhammer_threshold=1000,
+            geometry=SMALL_GEOMETRY,
+            blacklist_threshold=64,
+        )
+        harness = AttackHarness(
+            bh, rowhammer_threshold=1000, geometry=SMALL_GEOMETRY
+        )
+        pattern = patterns.bank_conflict_pattern(
+            harness.mapper, bank=0, bank_row=10, rounds=600
+        )
+        report = harness.run(pattern, spacing_ns=50.0)
+        # Two orders of magnitude worse than AQUA's worst case.
+        assert report.slowdown > 100.0
+
+    def test_worst_case_factor_is_1280(self):
+        assert Blockhammer(
+            rowhammer_threshold=1000
+        ).worst_case_slowdown() == pytest.approx(1280.0, rel=0.01)

@@ -1,0 +1,104 @@
+"""Half-Double escalation: wider refresh radii only move the problem.
+
+Sec. I: "If rows that are a distance-of-1 and a distance-of-2 are
+issued mitigating refreshes, then the Half-Double attack might even be
+extended to influence rows that are a distance-of-3 away and so on."
+
+The disturbance oracle makes this conjecture executable: with blast
+radius 2, the defender's refreshes of the distance-2 row hammer the
+distance-3 row, and the attacker's sub-threshold direct hammering of
+the inner rows finishes the job.  Migration (AQUA) is immune because
+it removes the aggressor from the neighbourhood entirely.
+"""
+
+import pytest
+
+from repro.attacks import patterns
+from repro.attacks.adversary import AttackHarness
+from repro.core.aqua import AquaMitigation
+from repro.mitigations.victim_refresh import VictimRefresh
+
+from tests.conftest import SMALL_GEOMETRY, make_aqua_config
+
+
+TRH = 128
+TRIGGER = TRH // 2
+
+
+def escalated_pattern(mapper, bank=1, base=100):
+    """Heavy hammering of A, sub-trigger hammering of A+1 and A+2.
+
+    Against a radius-2 defender, refreshes of A+1 and A+2 both act as
+    activations; combined with the direct sub-trigger hammering, the
+    distance-3 row (A+3) accumulates disturbance past T_RH.
+    """
+    far = patterns.single_sided(mapper, bank, base, 100 * TRIGGER)
+    near1 = patterns.single_sided(mapper, bank, base + 1, TRIGGER - 1)
+    near2 = patterns.single_sided(mapper, bank, base + 2, TRIGGER - 1)
+    # Interleave: far hammers with periodic near hammers.
+    pattern = []
+    near = [*near1, *near2]
+    interval = max(1, len(far) // max(1, len(near)))
+    near_iter = iter(near)
+    for i, row in enumerate(far):
+        pattern.append(row)
+        if i % interval == interval - 1:
+            try:
+                pattern.append(next(near_iter))
+            except StopIteration:
+                pass
+    return pattern
+
+
+class TestRadiusTwoVictimRefresh:
+    def test_distance_three_flips(self):
+        scheme = VictimRefresh(
+            rowhammer_threshold=TRH,
+            geometry=SMALL_GEOMETRY,
+            blast_radius=2,
+            tracker_entries_per_bank=64,
+        )
+        harness = AttackHarness(
+            scheme, rowhammer_threshold=TRH, geometry=SMALL_GEOMETRY
+        )
+        report = harness.run(escalated_pattern(harness.mapper))
+        assert report.succeeded
+        flipped = {flip.row for flip in report.flips}
+        distance_three = harness.mapper.encode(1, 103)
+        assert distance_three in flipped
+
+    def test_radius_two_does_stop_plain_half_double(self):
+        # The wider radius is not useless: the *original* distance-2
+        # Half-Double is covered...
+        scheme = VictimRefresh(
+            rowhammer_threshold=TRH,
+            geometry=SMALL_GEOMETRY,
+            blast_radius=2,
+            tracker_entries_per_bank=64,
+        )
+        harness = AttackHarness(
+            scheme, rowhammer_threshold=TRH, geometry=SMALL_GEOMETRY
+        )
+        pattern = patterns.half_double(
+            harness.mapper,
+            1,
+            100,
+            far_hammers=100 * TRIGGER,
+            near_hammers_per_epoch=TRIGGER - 1,
+        )
+        report = harness.run(pattern)
+        distance_two = harness.mapper.encode(1, 102)
+        assert distance_two not in {flip.row for flip in report.flips}
+
+
+class TestAquaAgainstEscalation:
+    def test_aqua_immune_to_the_escalated_pattern(self):
+        scheme = AquaMitigation(
+            make_aqua_config(rowhammer_threshold=TRH, rqa_slots=512)
+        )
+        harness = AttackHarness(
+            scheme, rowhammer_threshold=TRH, geometry=SMALL_GEOMETRY
+        )
+        report = harness.run(escalated_pattern(harness.mapper))
+        assert not report.succeeded
+        assert harness.invariant_holds()

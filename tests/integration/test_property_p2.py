@@ -1,0 +1,94 @@
+"""Security property P2 (Sec. VI-A), exercised end-to-end.
+
+A quarantined row returns to its original location only in a later
+epoch, and each tracking epoch allows at most ``T_RH/2 - 1`` activations
+at the original location before a mitigation -- so the original
+physical row never accumulates ``T_RH`` activations in any refresh
+window, even across the return.
+"""
+
+from repro.attacks.adversary import AttackHarness
+from repro.core.aqua import AquaMitigation
+from repro.dram.refresh import EPOCH_NS
+
+from tests.conftest import SMALL_GEOMETRY, make_aqua_config
+
+
+TRH = 128
+TRIGGER = TRH // 2
+
+
+class TestReturnPath:
+    def test_row_returns_home_only_next_epoch(self):
+        # RQA of 1 slot: the row must be drained home by the next
+        # epoch's first quarantine.
+        aqua = AquaMitigation(
+            make_aqua_config(rowhammer_threshold=TRH, rqa_slots=1)
+        )
+        for _ in range(TRIGGER):
+            aqua.access(100, 0.0)
+        assert aqua.is_quarantined(100)
+        # Still quarantined for the rest of epoch 0 (slot not reusable).
+        aqua.access(100, EPOCH_NS - 1)
+        assert aqua.is_quarantined(100)
+        # Epoch 1: another row's quarantine evicts row 100 home.
+        for _ in range(TRIGGER):
+            aqua.access(200, EPOCH_NS + 1)
+        assert not aqua.is_quarantined(100)
+
+    def test_original_location_never_reaches_trh(self):
+        # Worst case for the original location (the P2 argument):
+        # TRIGGER activations at the end of epoch 0 (the quarantine
+        # fires on the last one), the row drains home early in epoch 1,
+        # and the attacker hammers it again up to TRIGGER-1 times (one
+        # more would re-quarantine it).  The original physical row sees
+        # at most 2*TRIGGER - 1 = T_RH - 1 activations in the window.
+        harness = AttackHarness(
+            AquaMitigation(
+                make_aqua_config(rowhammer_threshold=TRH, rqa_slots=2)
+            ),
+            rowhammer_threshold=TRH,
+            geometry=SMALL_GEOMETRY,
+        )
+        aqua = harness.scheme
+        controller = harness.controller
+        # End of epoch 0: trigger a quarantine of row 100 (slot 0).
+        now = EPOCH_NS - TRIGGER * 50.0 - 1000.0
+        for _ in range(TRIGGER):
+            controller.access(100, now)
+            now = max(now + 45.0, controller.channel.busy_until_ns)
+        assert aqua.is_quarantined(100)
+        # Early epoch 1: two quarantines wrap the 2-slot RQA; the
+        # second drains row 100 home.
+        now = EPOCH_NS + 10.0
+        for row in (200, 300):
+            for _ in range(TRIGGER):
+                controller.access(row, now)
+                now += 50.0
+        assert not aqua.is_quarantined(100)
+        # Hammer the returned row just below the trigger.
+        for _ in range(TRIGGER - 1):
+            controller.access(100, now)
+            now += 50.0
+        assert not aqua.is_quarantined(100)
+        assert harness.ledger.peak(100) < TRH
+        assert harness.invariant_holds()
+
+    def test_self_slot_requarantine_is_safe(self):
+        # Corner: the RQA head laps back to the very slot a hammered
+        # row occupies; its re-quarantine must neither lose data nor
+        # corrupt the mapping.
+        aqua = AquaMitigation(
+            make_aqua_config(rowhammer_threshold=TRH, rqa_slots=1)
+        )
+        aqua.data.write(100, "sticky")
+        for _ in range(TRIGGER):
+            aqua.access(100, 0.0)
+        location = aqua.locate(100)
+        assert location == aqua.rqa_base
+        # Next epoch: keep hammering; the only slot is its own.
+        for _ in range(TRIGGER):
+            aqua.access(100, EPOCH_NS + 1)
+        assert aqua.locate(100) == aqua.rqa_base
+        assert aqua.data.read(aqua.rqa_base) == "sticky"
+        assert aqua.rqa.resident_row(0) == 100

@@ -1,0 +1,76 @@
+"""Long-run soak: steady-state behaviour over many refresh windows.
+
+The performance sweeps simulate 2 epochs; these tests run a hot
+workload for 8 and check the properties that only emerge at steady
+state: RQA occupancy stabilises (lazy drain keeps up), no exhaustion
+alarm, migrations per epoch stay flat, and the mapping stays
+consistent throughout.
+"""
+
+import pytest
+
+from repro.core.aqua import AquaMitigation
+from repro.dram.refresh import EPOCH_NS
+from repro.sim.system import SystemSimulator
+from repro.workloads.spec import SyntheticWorkload
+from repro.workloads.table2 import WorkloadSpec
+
+from tests.conftest import SMALL_GEOMETRY, make_aqua_config
+
+
+def hot_workload():
+    """A compact lbm-like workload fitted to the small test geometry."""
+    spec = WorkloadSpec("soak", 8.0, 48, 24, 8)
+    return SyntheticWorkload(
+        spec,
+        geometry=SMALL_GEOMETRY,
+        max_background_acts=2000,
+    )
+
+
+class TestSteadyState:
+    def test_eight_epochs_without_alarm(self):
+        aqua = AquaMitigation(
+            make_aqua_config(rowhammer_threshold=1000, rqa_slots=96)
+        )
+        result = SystemSimulator(aqua).run(hot_workload(), epochs=8)
+        assert result.epochs == 8
+        # ~24+ migrations per epoch into a 96-slot RQA: the head wraps
+        # roughly every 3-4 epochs and lazy drain must keep up.
+        assert result.evictions > 0
+        assert aqua.rqa.occupancy() <= 96
+
+    def test_migration_rate_is_flat_across_epochs(self):
+        aqua = AquaMitigation(
+            make_aqua_config(rowhammer_threshold=1000, rqa_slots=96)
+        )
+        target = hot_workload()
+        per_epoch = []
+        previous = 0
+        simulator = SystemSimulator(aqua)
+        for epoch in range(6):
+            trace = target.epoch_trace(epoch)
+            now = epoch * EPOCH_NS
+            dt = EPOCH_NS / (trace.total_activations + 1)
+            for row, count in trace.chunks():
+                aqua.access_batch(row, count, now)
+                now += count * dt
+            per_epoch.append(aqua.stats.migrations - previous)
+            previous = aqua.stats.migrations
+        # Every epoch quarantines the workload's hot rows afresh.
+        assert min(per_epoch) > 0
+        assert max(per_epoch) <= 3 * min(per_epoch)
+
+    def test_mapping_consistent_after_soak(self):
+        aqua = AquaMitigation(
+            make_aqua_config(rowhammer_threshold=1000, rqa_slots=96)
+        )
+        SystemSimulator(aqua).run(hot_workload(), epochs=8)
+        seen = set()
+        for slot in range(aqua.rqa.num_slots):
+            row = aqua.rqa.resident_row(slot)
+            if row is None:
+                continue
+            assert row not in seen
+            seen.add(row)
+            assert aqua.locate(row) == aqua.rqa_base + slot

@@ -1,0 +1,36 @@
+"""Scheme base class: epoch sync and batch-path bookkeeping."""
+
+import pytest
+
+from repro.core.aqua import AquaMitigation
+from repro.dram.refresh import EPOCH_NS
+
+from tests.conftest import make_aqua_config
+
+
+class TestEpochSync:
+    def test_epochs_counted(self):
+        scheme = AquaMitigation(make_aqua_config())
+        scheme.access(1, 0.0)
+        scheme.access(1, EPOCH_NS + 1)
+        scheme.access(1, 3 * EPOCH_NS + 1)
+        assert scheme.current_epoch == 3
+        assert scheme.stats.epochs == 2
+
+    def test_stats_accumulate(self):
+        scheme = AquaMitigation(make_aqua_config())
+        for _ in range(10):
+            scheme.access(1, 0.0)
+        assert scheme.stats.accesses == 10
+
+
+class TestBatchValidation:
+    def test_zero_batch_rejected(self):
+        scheme = AquaMitigation(make_aqua_config())
+        with pytest.raises(ValueError):
+            scheme.access_batch(1, 0, 0.0)
+
+    def test_batch_counts_accesses(self):
+        scheme = AquaMitigation(make_aqua_config())
+        scheme.access_batch(1, 25, 0.0)
+        assert scheme.stats.accesses == 25

@@ -1,0 +1,100 @@
+"""Blockhammer: blacklisting, throttling, and the 1280x worst case."""
+
+import pytest
+
+from repro.mitigations.blockhammer import Blockhammer
+
+from tests.conftest import SMALL_GEOMETRY, at_epoch
+
+
+def make_bh(trh=1000, blacklist=8):
+    return Blockhammer(
+        rowhammer_threshold=trh,
+        geometry=SMALL_GEOMETRY,
+        blacklist_threshold=blacklist,
+    )
+
+
+class TestBlacklisting:
+    def test_below_blacklist_no_stall(self):
+        bh = make_bh()
+        for i in range(7):
+            result = bh.access(5, float(i))
+            assert result.stalled_ns == 0.0
+
+    def test_blacklisted_row_throttles(self):
+        bh = make_bh()
+        for i in range(8):
+            bh.access(5, float(i))
+        # Row is blacklisted; back-to-back accesses now stall.
+        bh.access(5, 10.0)
+        result = bh.access(5, 11.0)
+        assert result.stalled_ns > 0
+        assert bh.throttled_accesses >= 1
+
+    def test_other_rows_unaffected(self):
+        bh = make_bh()
+        for i in range(20):
+            bh.access(5, float(i))
+        result = bh.access(6, 21.0)
+        assert result.stalled_ns == 0.0
+
+
+class TestQuota:
+    def test_quota_is_half_threshold(self):
+        bh = make_bh(trh=1000)
+        assert bh.quota == 500
+        assert bh.min_interval_ns == pytest.approx(64e6 / 500)
+
+    def test_spaced_accesses_do_not_stall(self):
+        bh = make_bh()
+        now = 0.0
+        for _ in range(8):
+            bh.access(5, now)
+            now += 1.0
+        result = bh.access(5, now + bh.min_interval_ns * 2)
+        assert result.stalled_ns == 0.0
+
+
+class TestWorstCase:
+    def test_worst_case_is_about_1280x(self):
+        # Sec. VII-B: two conflicting rows at 100 ns/round vs 500
+        # rounds/64 ms once blacklisted.
+        bh = Blockhammer(rowhammer_threshold=1000)
+        assert bh.worst_case_slowdown() == pytest.approx(1280.0, rel=0.01)
+
+    def test_worst_case_improves_at_higher_threshold(self):
+        relaxed = Blockhammer(rowhammer_threshold=32_000)
+        assert relaxed.worst_case_slowdown() < 100
+
+
+class TestBatchPath:
+    def test_batch_counts_throttled_accesses(self):
+        bh = make_bh()
+        result = bh.access_batch(5, 20, 0.0)
+        # 8 free (blacklist threshold), 12 throttled.
+        assert bh.throttled_accesses == 12
+        assert result.stalled_ns == pytest.approx(12 * bh.min_interval_ns)
+
+    def test_epoch_peak_row_stall(self):
+        bh = make_bh()
+        bh.access_batch(5, 20, 0.0)
+        bh.access_batch(6, 10, 0.0)
+        assert bh.epoch_peak_row_stall_ns() == pytest.approx(
+            12 * bh.min_interval_ns
+        )
+
+
+class TestEpochReset:
+    def test_blacklist_clears_at_epoch(self):
+        bh = make_bh()
+        bh.access_batch(5, 20, at_epoch(0))
+        result = bh.access(5, at_epoch(1))
+        assert result.stalled_ns == 0.0
+        assert bh.epoch_peak_row_stall_ns() == 0.0
+
+
+class TestValidation:
+    def test_bad_blacklist_threshold(self):
+        with pytest.raises(ValueError):
+            Blockhammer(blacklist_threshold=0)

@@ -1,0 +1,55 @@
+"""Blockhammer with the dual-CBF RowBlocker estimator."""
+
+import pytest
+
+from repro.mitigations.blockhammer import Blockhammer
+
+from tests.conftest import SMALL_GEOMETRY
+
+
+def make_bh(estimator, blacklist=8, counters=4096):
+    return Blockhammer(
+        rowhammer_threshold=1000,
+        geometry=SMALL_GEOMETRY,
+        blacklist_threshold=blacklist,
+        estimator=estimator,
+        cbf_counters=counters,
+    )
+
+
+class TestCbfEstimator:
+    def test_blacklists_hot_row_like_exact(self):
+        exact = make_bh("exact")
+        cbf = make_bh("cbf")
+        exact_stall = cbf_stall = 0.0
+        for i in range(20):
+            exact_stall += exact.access(5, float(i)).stalled_ns
+            cbf_stall += cbf.access(5, float(i)).stalled_ns
+        # With a roomy CBF the estimates are exact: same throttling.
+        assert cbf.throttled_accesses == exact.throttled_accesses
+        assert cbf_stall == pytest.approx(exact_stall)
+
+    def test_never_underthrottles(self):
+        # Aliasing can only make the CBF *more* aggressive.
+        cbf = make_bh("cbf", counters=32)
+        for i in range(20):
+            cbf.access(5, float(i))
+        exact = make_bh("exact")
+        for i in range(20):
+            exact.access(5, float(i))
+        assert cbf.throttled_accesses >= exact.throttled_accesses
+
+    def test_batch_path_matches_exact_when_sparse(self):
+        exact = make_bh("exact")
+        cbf = make_bh("cbf")
+        r_exact = exact.access_batch(5, 30, 0.0)
+        r_cbf = cbf.access_batch(5, 30, 0.0)
+        assert r_cbf.stalled_ns == pytest.approx(r_exact.stalled_ns)
+
+    def test_estimator_validated(self):
+        with pytest.raises(ValueError):
+            make_bh("psychic")
+
+    def test_rowblocker_only_for_cbf(self):
+        assert make_bh("exact").row_blocker is None
+        assert make_bh("cbf").row_blocker is not None

@@ -1,0 +1,63 @@
+"""CROW analytical model: Table V and the 1060%/530% overhead claims."""
+
+import pytest
+
+from repro.mitigations.crow import (
+    CrowModel,
+    SUBARRAY_ROWS,
+    TABLE_V_COPY_ROWS,
+    crow_table_v,
+)
+
+
+class TestTableV:
+    # (copy_rows -> overhead %, aggressors, tolerated T_RH) from Table V.
+    PAPER = {
+        8: (0.016, 4, 340_000),
+        32: (0.063, 16, 85_000),
+        128: (0.25, 64, 21_300),
+        512: (1.0, 256, 5_300),
+    }
+
+    @pytest.mark.parametrize("copy_rows", TABLE_V_COPY_ROWS)
+    def test_rows_match_paper(self, copy_rows):
+        overhead, aggressors, trh = self.PAPER[copy_rows]
+        model = CrowModel()
+        assert model.dram_overhead(copy_rows) == pytest.approx(
+            overhead, rel=0.03
+        )
+        assert model.aggressors_tolerated(copy_rows) == aggressors
+        assert model.trh_tolerated(copy_rows) == pytest.approx(trh, rel=0.05)
+
+    def test_table_v_generation(self):
+        table = crow_table_v()
+        assert [row.copy_rows for row in table] == list(TABLE_V_COPY_ROWS)
+        assert table[0].trh_tolerated > table[-1].trh_tolerated
+
+
+class TestSecurityAtOneK:
+    def test_crow_needs_1060_percent(self):
+        # Sec. VII-B / Table VI: CROW requires ~1060% DRAM at T_RH=1K.
+        model = CrowModel()
+        assert model.dram_overhead_at(1000) == pytest.approx(10.6, rel=0.05)
+
+    def test_crow_agg_needs_half(self):
+        agg = CrowModel(aggressor_only=True)
+        assert agg.dram_overhead_at(1000) == pytest.approx(5.3, rel=0.05)
+
+    def test_even_full_duplication_insufficient_at_current_thresholds(self):
+        # Sec. VII-B: 100% extra rows only tolerates T_RH >= 5.3K, above
+        # the 4.8K already observed in LPDDR4.
+        model = CrowModel()
+        assert model.trh_tolerated(SUBARRAY_ROWS) > 4_800
+
+
+class TestEdges:
+    def test_zero_copy_rows_tolerates_nothing(self):
+        model = CrowModel()
+        assert model.aggressors_tolerated(1) == 0
+        assert model.trh_tolerated(1) == float("inf")
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            CrowModel().copy_rows_required(1)

@@ -1,0 +1,31 @@
+"""Unprotected baseline scheme."""
+
+import pytest
+
+from repro.mitigations.none import NoMitigation
+
+
+class TestPassThrough:
+    def test_identity_translation(self):
+        scheme = NoMitigation(total_rows=1024)
+        result = scheme.access(100, 0.0)
+        assert result.physical_row == 100
+        assert result.busy_ns == 0.0
+        assert not result.migrated
+
+    def test_never_mitigates_under_hammering(self):
+        scheme = NoMitigation(total_rows=1024)
+        for _ in range(10_000):
+            scheme.access(5, 0.0)
+        assert scheme.stats.migrations == 0
+
+    def test_batch_path(self):
+        scheme = NoMitigation(total_rows=1024)
+        result = scheme.access_batch(5, 500, 0.0)
+        assert result.physical_row == 5
+        assert scheme.stats.accesses == 500
+
+    def test_bounds_checked(self):
+        scheme = NoMitigation(total_rows=16)
+        with pytest.raises(ValueError):
+            scheme.access(16, 0.0)

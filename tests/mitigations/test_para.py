@@ -1,0 +1,112 @@
+"""PARA: probabilistic neighbour refresh."""
+
+import pytest
+
+from repro.attacks import patterns
+from repro.attacks.adversary import AttackHarness
+from repro.mitigations.para import Para, recommended_probability
+
+from tests.conftest import SMALL_GEOMETRY
+
+
+def make_para(trh=128, probability=0.05, seed=1):
+    return Para(
+        rowhammer_threshold=trh,
+        geometry=SMALL_GEOMETRY,
+        probability=probability,
+        seed=seed,
+    )
+
+
+class TestProbability:
+    def test_recommended_probability_monotone(self):
+        # Lower thresholds need a higher refresh probability.
+        assert recommended_probability(1000) > recommended_probability(100_000)
+
+    def test_recommended_probability_bounds(self):
+        p = recommended_probability(1000)
+        assert 0.0 < p <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recommended_probability(0)
+        with pytest.raises(ValueError):
+            recommended_probability(1000, target_failures=2.0)
+        with pytest.raises(ValueError):
+            make_para(probability=0.0)
+
+
+class TestBehaviour:
+    def test_refresh_rate_tracks_probability(self):
+        para = make_para(probability=0.1)
+        for i in range(5000):
+            para.access(100 + (i % 7), 0.0)
+        rate = para.stats.victim_refreshes / 5000
+        assert rate == pytest.approx(0.1, abs=0.02)
+
+    def test_refreshes_target_neighbors(self):
+        para = make_para(probability=1.0)
+        result = para.access(100, 0.0)
+        assert len(result.refreshed_rows) == 1
+        assert result.refreshed_rows[0] in para.mapper.neighbors(100)
+
+    def test_rows_never_move(self):
+        para = make_para(probability=1.0)
+        result = para.access(100, 0.0)
+        assert result.physical_row == 100
+
+    def test_deterministic_with_seed(self):
+        a = make_para(seed=7)
+        b = make_para(seed=7)
+        for i in range(100):
+            ra = a.access(5, 0.0)
+            rb = b.access(5, 0.0)
+            assert ra.refreshed_rows == rb.refreshed_rows
+
+
+class TestSecurity:
+    def test_blocks_classic_hammering_at_adequate_probability(self):
+        trh = 128
+        para = make_para(trh=trh, probability=0.2, seed=3)
+        harness = AttackHarness(
+            para, rowhammer_threshold=trh, geometry=SMALL_GEOMETRY
+        )
+        # Short enough that PARA's own refreshes stay below T_RH per
+        # neighbour (see the Half-Double test below for what happens
+        # when they do not).
+        pattern = patterns.single_sided(harness.mapper, 1, 100, 1000)
+        report = harness.run(pattern)
+        assert not report.succeeded
+
+    def test_paras_own_refreshes_cause_half_double(self):
+        # Sustained hammering makes PARA refresh the direct neighbours
+        # hundreds of times -- and each refresh is an activation that
+        # disturbs the rows at distance 2.  Half-Double emerges from a
+        # plain single-sided pattern, with no help from the attacker.
+        trh = 128
+        para = make_para(trh=trh, probability=0.2, seed=3)
+        harness = AttackHarness(
+            para, rowhammer_threshold=trh, geometry=SMALL_GEOMETRY
+        )
+        aggressor = harness.mapper.encode(1, 100)
+        pattern = patterns.single_sided(harness.mapper, 1, 100, 3000)
+        report = harness.run(pattern)
+        assert report.succeeded
+        flipped = {flip.row for flip in report.flips}
+        # The directly protected neighbours did NOT flip...
+        assert not flipped & set(harness.mapper.neighbors(aggressor))
+        # ...but distance-2 rows did.
+        distance_two = set(harness.mapper.neighbors(aggressor, distance=2))
+        assert flipped & distance_two
+
+    def test_vulnerable_when_probability_too_low(self):
+        # PARA tuned for a high threshold fails at a low one: the
+        # scaling pitfall of probabilistic victim refresh.
+        trh = 128
+        para = make_para(trh=trh, probability=0.001, seed=3)
+        harness = AttackHarness(
+            para, rowhammer_threshold=trh, geometry=SMALL_GEOMETRY
+        )
+        pattern = patterns.single_sided(harness.mapper, 1, 100, 400)
+        report = harness.run(pattern)
+        assert report.succeeded

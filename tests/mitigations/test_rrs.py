@@ -1,0 +1,135 @@
+"""Randomized Row-Swap baseline: swap semantics and cost accounting."""
+
+import pytest
+
+from repro.dram.geometry import DramGeometry
+from repro.mitigations.rrs import RRS_THRESHOLD_DIVISOR, RandomizedRowSwap
+
+from tests.conftest import SMALL_GEOMETRY, at_epoch
+
+
+def make_rrs(trh=60, **kwargs):
+    kwargs.setdefault("geometry", SMALL_GEOMETRY)
+    kwargs.setdefault("tracker_entries_per_bank", 64)
+    return RandomizedRowSwap(rowhammer_threshold=trh, **kwargs)
+
+
+def hammer(scheme, row, times, now=0.0):
+    result = None
+    for _ in range(times):
+        result = scheme.access(row, now)
+    return result
+
+
+class TestThreshold:
+    def test_swap_threshold_is_one_sixth(self):
+        rrs = make_rrs(trh=600)
+        assert rrs.swap_threshold == 100
+        assert RRS_THRESHOLD_DIVISOR == 6
+
+    def test_too_small_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            RandomizedRowSwap(rowhammer_threshold=5)
+
+
+class TestSwap:
+    def test_swap_at_threshold(self):
+        rrs = make_rrs(trh=60)  # swaps at 10
+        result = hammer(rrs, 100, 10)
+        assert result.migrated
+        assert rrs.swaps == 1
+        assert rrs.stats.row_moves == 2
+        # The row now lives somewhere else.
+        assert rrs._physical_of(100) != 100
+
+    def test_swap_cost_is_two_moves(self):
+        rrs = make_rrs(trh=60)
+        result = hammer(rrs, 100, 10)
+        assert result.busy_ns == pytest.approx(2 * 1370.0, rel=0.01)
+
+    def test_partner_mapping_is_symmetric(self):
+        rrs = make_rrs(trh=60)
+        hammer(rrs, 100, 10)
+        partner = rrs._partner[100]
+        assert rrs._partner[partner] == 100
+        assert rrs._physical_of(partner) == 100
+
+    def test_mapping_is_permutation(self):
+        rrs = make_rrs(trh=60)
+        for row in (100, 200, 300):
+            hammer(rrs, row, 10)
+        physicals = [rrs._physical_of(r) for r in range(SMALL_GEOMETRY.rows_per_rank)]
+        # Spot check: no duplicate physical targets among the mapped rows.
+        mapped = list(rrs._map.values())
+        assert len(mapped) == len(set(mapped))
+
+
+class TestReswap:
+    def test_reswap_costs_four_moves(self):
+        # Sec. IV-F: re-swapping an already-swapped row needs 4 row
+        # migrations (restore the pair + fresh swap).
+        rrs = make_rrs(trh=60)
+        hammer(rrs, 100, 10)
+        moves_before = rrs.stats.row_moves
+        # Keep hammering the same logical row: the tracker now counts
+        # the new physical location (10 more ACTs re-trigger).
+        hammer(rrs, 100, 10)
+        assert rrs.stats.row_moves - moves_before == 4
+        assert rrs.unswaps == 1
+
+    def test_reswap_relocates_again(self):
+        rrs = make_rrs(trh=60)
+        hammer(rrs, 100, 10)
+        first = rrs._physical_of(100)
+        hammer(rrs, 100, 10)
+        assert rrs._physical_of(100) != first
+
+
+class TestDataIntegrity:
+    def test_swap_preserves_both_contents(self):
+        rrs = make_rrs(trh=60)
+        rrs.data.write(100, "mine")
+        hammer(rrs, 100, 10)
+        assert rrs.data.read(rrs._physical_of(100)) == "mine"
+
+    def test_unswap_returns_content_home(self):
+        rrs = make_rrs(trh=60)
+        rrs.data.write(100, "mine")
+        hammer(rrs, 100, 10)
+        partner = rrs._partner[100]
+        rrs._unswap(100)
+        assert rrs.data.read(rrs._physical_of(100)) == "mine"
+        assert rrs._physical_of(100) == 100
+        assert rrs._physical_of(partner) == partner
+
+
+class TestEpoch:
+    def test_tracker_resets_but_mappings_persist(self):
+        rrs = make_rrs(trh=60)
+        hammer(rrs, 100, 10, now=at_epoch(0))
+        location = rrs._physical_of(100)
+        rrs.access(100, at_epoch(1))
+        assert rrs._physical_of(100) == location
+
+
+class TestDeterminism:
+    def test_same_seed_same_destinations(self):
+        a = make_rrs(seed=42)
+        b = make_rrs(seed=42)
+        hammer(a, 100, 10)
+        hammer(b, 100, 10)
+        assert a._physical_of(100) == b._physical_of(100)
+
+    def test_different_seed_differs(self):
+        a = make_rrs(seed=1)
+        b = make_rrs(seed=2)
+        hammer(a, 100, 10)
+        hammer(b, 100, 10)
+        assert a._physical_of(100) != b._physical_of(100)
+
+
+class TestStorage:
+    def test_rit_sram_matches_paper_at_1k(self):
+        rrs = RandomizedRowSwap(rowhammer_threshold=1000)
+        # Sec. II-F: ~2.4 MB per rank at T_RH = 1K (decimal MB).
+        assert rrs.sram_bytes() == pytest.approx(2.4e6, rel=0.05)

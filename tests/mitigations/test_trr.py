@@ -1,0 +1,94 @@
+"""TRR sampler model and the TRRespass many-sided bypass."""
+
+import pytest
+
+from repro.attacks import patterns
+from repro.attacks.adversary import AttackHarness
+from repro.mitigations.trr import TargetRowRefresh
+
+from tests.conftest import SMALL_GEOMETRY
+
+
+def make_trr(sampler_entries=4, refresh_burst=16):
+    return TargetRowRefresh(
+        geometry=SMALL_GEOMETRY,
+        sampler_entries=sampler_entries,
+        refresh_burst=refresh_burst,
+    )
+
+
+class TestSampler:
+    def test_sampler_tracks_recent_rows(self):
+        trr = make_trr()
+        trr.access(100, 0.0)
+        trr.access(104, 0.0)
+        bank = trr.mapper.bank_of(100)
+        assert 100 in trr.sampled_rows(bank)
+
+    def test_fifo_replacement_cycles_entries(self):
+        trr = make_trr(sampler_entries=2)
+        # Three same-bank rows: the first one must get cycled out.
+        rows = [trr.mapper.encode(1, r) for r in (10, 20, 30)]
+        for row in rows:
+            trr.access(row, 0.0)
+        assert rows[0] not in trr.sampled_rows(1)
+
+    def test_refresh_fires_every_burst(self):
+        trr = make_trr(refresh_burst=8)
+        refreshed = []
+        for i in range(32):
+            result = trr.access(trr.mapper.encode(1, 100), 0.0)
+            refreshed.extend(result.refreshed_rows)
+        assert trr.stats.migrations == 4
+        assert refreshed  # the hot row's neighbours got refreshed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_trr(sampler_entries=0)
+        with pytest.raises(ValueError):
+            make_trr(refresh_burst=0)
+
+
+class TestSecurity:
+    TRH = 192
+
+    def _harness(self, sampler_entries=4):
+        return AttackHarness(
+            make_trr(sampler_entries=sampler_entries, refresh_burst=16),
+            rowhammer_threshold=self.TRH,
+            geometry=SMALL_GEOMETRY,
+        )
+
+    def test_blocks_double_sided(self):
+        harness = self._harness()
+        pattern = patterns.double_sided(
+            harness.mapper, 1, 100, pairs=3 * self.TRH
+        )
+        report = harness.run(pattern)
+        assert not report.succeeded
+
+    def test_trrespass_many_sided_bypasses(self):
+        # More concurrent aggressors than sampler entries: some
+        # aggressor always escapes sampling and its victims flip.
+        harness = self._harness(sampler_entries=4)
+        pattern = patterns.many_sided(
+            harness.mapper,
+            bank=1,
+            first_bank_row=100,
+            aggressors=12,
+            rounds=2 * self.TRH,
+        )
+        report = harness.run(pattern)
+        assert report.succeeded
+
+    def test_bigger_sampler_resists_the_same_pattern(self):
+        harness = self._harness(sampler_entries=24)
+        pattern = patterns.many_sided(
+            harness.mapper,
+            bank=1,
+            first_bank_row=100,
+            aggressors=12,
+            rounds=2 * self.TRH,
+        )
+        report = harness.run(pattern)
+        assert not report.succeeded

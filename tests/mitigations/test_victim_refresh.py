@@ -1,0 +1,71 @@
+"""Victim refresh: neighbour refreshes and their Half-Double exposure."""
+
+import pytest
+
+from repro.dram.address import AddressMapper
+from repro.mitigations.victim_refresh import VictimRefresh
+
+from tests.conftest import SMALL_GEOMETRY, at_epoch
+
+
+def make_vr(trh=64, blast_radius=1):
+    return VictimRefresh(
+        rowhammer_threshold=trh,
+        geometry=SMALL_GEOMETRY,
+        blast_radius=blast_radius,
+        tracker_entries_per_bank=64,
+    )
+
+
+def hammer(scheme, row, times, now=0.0):
+    result = None
+    for _ in range(times):
+        result = scheme.access(row, now)
+    return result
+
+
+class TestRefreshAction:
+    def test_trigger_refreshes_both_neighbors(self):
+        vr = make_vr()
+        mapper = AddressMapper(SMALL_GEOMETRY)
+        aggressor = mapper.encode(1, 100)
+        result = hammer(vr, aggressor, 32)
+        assert set(result.refreshed_rows) == set(mapper.neighbors(aggressor))
+        assert vr.stats.victim_refreshes == 2
+
+    def test_rows_never_move(self):
+        vr = make_vr()
+        result = hammer(vr, 100, 32)
+        assert result.physical_row == 100
+        assert not result.migrated
+
+    def test_refresh_busy_time(self):
+        vr = make_vr()
+        result = hammer(vr, SMALL_GEOMETRY.banks_per_rank + 100 * 4, 32)
+        assert result.busy_ns == pytest.approx(2 * 45.0, rel=0.01)
+
+    def test_repeated_triggers_at_multiples(self):
+        vr = make_vr()
+        hammer(vr, 100, 64)
+        assert vr.stats.migrations == 2  # trigger count
+
+
+class TestBlastRadius:
+    def test_radius_two_refreshes_four_rows(self):
+        vr = make_vr(blast_radius=2)
+        mapper = AddressMapper(SMALL_GEOMETRY)
+        aggressor = mapper.encode(1, 100)
+        result = hammer(vr, aggressor, 32)
+        assert len(result.refreshed_rows) == 4
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            make_vr(blast_radius=0)
+
+
+class TestEpoch:
+    def test_tracker_resets(self):
+        vr = make_vr()
+        hammer(vr, 100, 31, now=at_epoch(0))
+        result = hammer(vr, 100, 31, now=at_epoch(1))
+        assert vr.stats.migrations == 0

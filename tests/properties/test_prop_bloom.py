@@ -1,0 +1,77 @@
+"""Property tests: the resettable bloom filter never false-negatives."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.bloom import ResettableBloomFilter
+
+
+rows = st.integers(min_value=0, max_value=255)
+
+
+@st.composite
+def insert_invalidate_sequences(draw):
+    """Valid op sequences: invalidate only currently-inserted rows."""
+    ops = []
+    live = set()
+    for _ in range(draw(st.integers(min_value=0, max_value=120))):
+        if live and draw(st.booleans()):
+            row = draw(st.sampled_from(sorted(live)))
+            ops.append(("invalidate", row))
+            live.discard(row)
+        else:
+            row = draw(rows)
+            if row not in live:
+                ops.append(("insert", row))
+                live.add(row)
+    return ops
+
+
+class TestNoFalseNegatives:
+    @given(insert_invalidate_sequences())
+    @settings(max_examples=200)
+    def test_mapped_rows_always_flagged(self, ops):
+        bloom = ResettableBloomFilter(total_rows=256, group_size=16)
+        live = set()
+        for op, row in ops:
+            if op == "insert":
+                bloom.on_insert(row)
+                live.add(row)
+            else:
+                bloom.on_invalidate(row)
+                live.discard(row)
+            for mapped in live:
+                assert bloom.maybe_quarantined(mapped)
+
+    @given(insert_invalidate_sequences())
+    @settings(max_examples=200)
+    def test_bit_clear_exactly_when_group_empty(self, ops):
+        bloom = ResettableBloomFilter(total_rows=256, group_size=16)
+        live = set()
+        for op, row in ops:
+            if op == "insert":
+                bloom.on_insert(row)
+                live.add(row)
+            else:
+                bloom.on_invalidate(row)
+                live.discard(row)
+        for group in range(bloom.num_groups):
+            expected = any(r // 16 == group for r in live)
+            probe = group * 16
+            assert bloom.maybe_quarantined(probe) == expected
+
+    @given(insert_invalidate_sequences())
+    @settings(max_examples=100)
+    def test_group_valid_count_consistent(self, ops):
+        bloom = ResettableBloomFilter(total_rows=256, group_size=16)
+        live = set()
+        for op, row in ops:
+            if op == "insert":
+                bloom.on_insert(row)
+                live.add(row)
+            else:
+                bloom.on_invalidate(row)
+                live.discard(row)
+        for row in range(0, 256, 16):
+            expected = sum(1 for r in live if r // 16 == row // 16)
+            assert bloom.group_valid_count(row) == expected

@@ -1,0 +1,60 @@
+"""Property tests: the CAT behaves like a mapping under any op sequence."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.cat import CollisionAvoidanceTable
+
+
+keys = st.integers(min_value=0, max_value=10_000)
+
+
+@st.composite
+def operations(draw):
+    """A sequence of (op, key) pairs, bounded to avoid overflow."""
+    return draw(
+        st.lists(
+            st.tuples(st.sampled_from(["insert", "remove", "lookup"]), keys),
+            max_size=120,
+        )
+    )
+
+
+class TestDictEquivalence:
+    @given(operations())
+    @settings(max_examples=200)
+    def test_matches_reference_dict(self, ops):
+        cat = CollisionAvoidanceTable(capacity=512, ways=8)
+        reference = {}
+        for op, key in ops:
+            if op == "insert" and len(reference) < 300:
+                cat.insert(key, key * 3)
+                reference[key] = key * 3
+            elif op == "remove":
+                assert cat.remove(key) == (key in reference)
+                reference.pop(key, None)
+            else:
+                assert cat.lookup(key) == reference.get(key)
+        assert len(cat) == len(reference)
+        assert dict(cat.items()) == reference
+
+    @given(st.sets(keys, max_size=350))
+    @settings(max_examples=100)
+    def test_all_inserted_keys_retrievable(self, key_set):
+        # 350 entries in a 512-slot CAT (68% load): everything placed.
+        cat = CollisionAvoidanceTable(capacity=512, ways=8)
+        for key in key_set:
+            cat.insert(key, key + 1)
+        for key in key_set:
+            assert cat.lookup(key) == key + 1
+
+    @given(st.sets(keys, min_size=1, max_size=300))
+    @settings(max_examples=50)
+    def test_remove_all_empties_table(self, key_set):
+        cat = CollisionAvoidanceTable(capacity=512, ways=8)
+        for key in key_set:
+            cat.insert(key, key)
+        for key in key_set:
+            assert cat.remove(key)
+        assert len(cat) == 0
+        assert cat.max_bucket_occupancy() == 0

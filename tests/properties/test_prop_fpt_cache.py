@@ -1,0 +1,94 @@
+"""Property tests: the FPT-Cache never serves a stale or wrong entry."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.fpt_cache import FptCache
+
+
+rows = st.integers(min_value=0, max_value=127)
+slots = st.integers(min_value=0, max_value=31)
+
+
+@st.composite
+def cache_ops(draw):
+    ops = []
+    for _ in range(draw(st.integers(min_value=0, max_value=100))):
+        kind = draw(st.integers(min_value=0, max_value=2))
+        if kind == 0:
+            ops.append(("install", draw(rows), draw(slots)))
+        elif kind == 1:
+            ops.append(("invalidate", draw(rows), None))
+        else:
+            ops.append(("lookup", draw(rows), None))
+    return ops
+
+
+class TestCacheCorrectness:
+    @given(cache_ops())
+    @settings(max_examples=200)
+    def test_hits_always_return_last_installed_slot(self, ops):
+        cache = FptCache(num_entries=32, ways=4, group_size=16)
+        reference = {}
+        for op, row, slot in ops:
+            if op == "install":
+                cache.install(row, slot, singleton=False)
+                reference[row] = slot
+            elif op == "invalidate":
+                cache.invalidate(row)
+                reference.pop(row, None)
+            else:
+                found = cache.lookup(row)
+                # A miss is always allowed (capacity evictions); a hit
+                # must return exactly the last installed slot.
+                if found is not None:
+                    assert found == reference.get(row)
+
+    @given(cache_ops())
+    @settings(max_examples=100)
+    def test_occupancy_bounded(self, ops):
+        cache = FptCache(num_entries=32, ways=4, group_size=16)
+        for op, row, slot in ops:
+            if op == "install":
+                cache.install(row, slot, singleton=False)
+            elif op == "invalidate":
+                cache.invalidate(row)
+        assert cache.occupancy() <= 32
+
+    @given(st.lists(st.tuples(rows, slots), max_size=60))
+    @settings(max_examples=100)
+    def test_singleton_probe_never_satisfied_by_own_entry(self, installs):
+        # The cache-level guarantee: a row's *own* entry never answers
+        # its singleton probe.  (Cross-entry consistency of the
+        # singleton bits is the table layer's invariant, covered by
+        # the memtables property tests.)
+        cache = FptCache(num_entries=256, ways=16, group_size=16)
+        groups_seen = set()
+        for row, slot in installs:
+            group = row // 16
+            cache.install(row, slot, singleton=group not in groups_seen)
+            if group not in groups_seen:
+                # Sole entry of its group: the probe must miss.
+                assert not cache.covered_by_singleton(row)
+            groups_seen.add(group)
+
+
+class TestPerRowVsExact:
+    @given(
+        st.lists(
+            st.tuples(rows, st.integers(min_value=1, max_value=20)),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=100)
+    def test_per_row_tracker_matches_exact(self, chunks):
+        from repro.trackers.exact import ExactTracker
+        from repro.trackers.per_row import PerRowCounterTracker
+
+        exact = ExactTracker(threshold=16)
+        per_row = PerRowCounterTracker(threshold=16, cache_entries=4)
+        for row, count in chunks:
+            assert exact.observe_batch(row, count) == per_row.observe_batch(
+                row, count
+            )
+            assert exact.estimate(row) == per_row.estimate(row)

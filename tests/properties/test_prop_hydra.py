@@ -1,0 +1,62 @@
+"""Property tests: Hydra's conservative-estimation guarantee.
+
+Property P1 depends on the tracker never under-counting; Hydra's group
+inheritance ensures this for any access stream.
+"""
+
+from collections import Counter
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.trackers.hydra import HydraTracker
+
+
+rows = st.integers(min_value=0, max_value=63)
+streams = st.lists(rows, max_size=300)
+
+
+class TestConservativeEstimation:
+    @given(streams)
+    @settings(max_examples=150)
+    def test_never_undercounts(self, stream):
+        tracker = HydraTracker(
+            threshold=32, rows_per_group=8, group_threshold=8, rcc_entries=4
+        )
+        true = Counter()
+        for row in stream:
+            tracker.observe(row)
+            true[row] += 1
+            assert tracker.estimate(row) >= min(
+                true[row], tracker.group_threshold
+            )
+
+    @given(streams)
+    @settings(max_examples=150)
+    def test_engaged_rows_strictly_dominate_truth(self, stream):
+        tracker = HydraTracker(
+            threshold=32, rows_per_group=8, group_threshold=8
+        )
+        true = Counter()
+        for row in stream:
+            tracker.observe(row)
+            true[row] += 1
+        for row, count in true.items():
+            if row in tracker._rct:
+                assert tracker.estimate(row) >= count
+
+    @given(streams)
+    @settings(max_examples=100)
+    def test_detection_by_threshold(self, stream):
+        threshold = 24
+        tracker = HydraTracker(
+            threshold=threshold, rows_per_group=8, group_threshold=8
+        )
+        true = Counter()
+        fired = Counter()
+        for row in stream:
+            true[row] += 1
+            if tracker.observe(row):
+                fired[row] += 1
+            if true[row] >= threshold:
+                assert fired[row] >= 1

@@ -1,0 +1,54 @@
+"""Property tests: the sliding-window ledger against a brute-force oracle."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.analysis.security import ActivationLedger
+
+
+events = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=5),  # row
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),  # dt
+    ),
+    max_size=80,
+)
+
+
+class TestAgainstBruteForce:
+    @given(events)
+    @settings(max_examples=200)
+    def test_window_counts_match(self, deltas):
+        window = 100.0
+        ledger = ActivationLedger(window_ns=window)
+        history = []
+        now = 0.0
+        for row, dt in deltas:
+            now += dt
+            ledger.record(row, now)
+            history.append((row, now))
+            brute = sum(
+                1
+                for r, t in history
+                if r == row and t > now - window
+            )
+            assert ledger.window_count(row, now) == brute
+
+    @given(events)
+    @settings(max_examples=100)
+    def test_peak_is_max_over_time(self, deltas):
+        window = 100.0
+        ledger = ActivationLedger(window_ns=window)
+        history = []
+        now = 0.0
+        best = {}
+        for row, dt in deltas:
+            now += dt
+            ledger.record(row, now)
+            history.append((row, now))
+            brute = sum(
+                1 for r, t in history if r == row and t > now - window
+            )
+            best[row] = max(best.get(row, 0), brute)
+        for row, peak in best.items():
+            assert ledger.peak(row) == peak

@@ -1,0 +1,89 @@
+"""Property tests: the memory-mapped table chain vs a reference map.
+
+Whatever sequence of quarantines, releases, and lookups occurs, the
+bloom + FPT-Cache + DRAM-FPT chain must resolve every row to exactly
+what a plain dict would -- the filters are performance structures and
+must never change answers.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.memtables import MemoryMappedTables
+
+
+rows = st.integers(min_value=0, max_value=255)
+
+
+@st.composite
+def table_ops(draw):
+    """Valid op sequences against a 32-slot quarantine space."""
+    ops = []
+    mapped = {}
+    free_slots = list(range(32))
+    for _ in range(draw(st.integers(min_value=0, max_value=80))):
+        choice = draw(st.integers(min_value=0, max_value=2))
+        if choice == 0 and free_slots:
+            row = draw(rows)
+            if row not in mapped:
+                slot = free_slots.pop()
+                ops.append(("quarantine", row, slot))
+                mapped[row] = slot
+                continue
+        if choice == 1 and mapped:
+            row = draw(st.sampled_from(sorted(mapped)))
+            ops.append(("release", row, None))
+            free_slots.append(mapped.pop(row))
+            continue
+        ops.append(("lookup", draw(rows), None))
+    return ops
+
+
+def build(ops):
+    tables = MemoryMappedTables(
+        total_rows=256,
+        rqa_slots=32,
+        bloom_group_size=16,
+        fpt_cache_entries=16,  # tiny: forces cache churn
+    )
+    reference = {}
+    for op, row, slot in ops:
+        if op == "quarantine":
+            tables.on_quarantine(row, slot)
+            reference[row] = slot
+        elif op == "release":
+            tables.on_release(row)
+            reference.pop(row, None)
+        else:
+            tables.lookup(row)
+    return tables, reference
+
+
+class TestChainEquivalence:
+    @given(table_ops())
+    @settings(max_examples=150, deadline=None)
+    def test_lookups_match_reference(self, ops):
+        tables, reference = build(ops)
+        for row in range(256):
+            assert tables.lookup(row).slot == reference.get(row)
+
+    @given(table_ops())
+    @settings(max_examples=150, deadline=None)
+    def test_batch_lookups_match_reference(self, ops):
+        tables, reference = build(ops)
+        for row in range(0, 256, 7):
+            assert tables.lookup_batch(row, 5).slot == reference.get(row)
+
+    @given(table_ops())
+    @settings(max_examples=100, deadline=None)
+    def test_bloom_never_hides_mapped_rows(self, ops):
+        tables, reference = build(ops)
+        for row in reference:
+            assert tables.bloom.maybe_quarantined(row)
+
+    @given(table_ops())
+    @settings(max_examples=100, deadline=None)
+    def test_outcome_counts_total_queries(self, ops):
+        tables, _ = build(ops)
+        lookups = sum(1 for op, _, _ in ops if op == "lookup")
+        assert sum(tables.outcome_counts.values()) == lookups

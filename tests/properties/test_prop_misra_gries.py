@@ -1,0 +1,96 @@
+"""Property tests: Misra-Gries detection guarantees under any stream.
+
+The guarantee behind security property P1: the tracker never
+*under*-estimates a row, so every row truly reaching the threshold
+fires a mitigation by the time it does.
+"""
+
+from collections import Counter
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.trackers.misra_gries import MisraGriesBank
+
+
+rows = st.integers(min_value=0, max_value=40)
+streams = st.lists(rows, max_size=400)
+
+
+class TestNeverUndercounts:
+    @given(streams)
+    @settings(max_examples=200)
+    def test_tracked_estimate_at_least_true_count(self, stream):
+        bank = MisraGriesBank(threshold=16, capacity=8)
+        true = Counter()
+        for row in stream:
+            bank.observe(row)
+            true[row] += 1
+            estimate = bank.estimate(row)
+            if estimate:
+                assert estimate >= true[row]
+
+    @given(streams)
+    @settings(max_examples=200)
+    def test_untracked_rows_bounded_by_spill(self, stream):
+        bank = MisraGriesBank(threshold=16, capacity=8)
+        true = Counter()
+        for row in stream:
+            bank.observe(row)
+            true[row] += 1
+        for row, count in true.items():
+            if bank.estimate(row) == 0:
+                assert count <= bank.spill
+
+
+class TestDetectionGuarantee:
+    @given(streams)
+    @settings(max_examples=200)
+    def test_rows_reaching_threshold_fire(self, stream):
+        threshold = 16
+        bank = MisraGriesBank(threshold=threshold, capacity=8)
+        true = Counter()
+        fired = Counter()
+        for row in stream:
+            true[row] += 1
+            if bank.observe(row):
+                fired[row] += 1
+            if true[row] >= threshold:
+                assert fired[row] >= 1, (
+                    f"row {row} reached {true[row]} activations unflagged"
+                )
+
+
+class TestBatchEquivalence:
+    @given(
+        st.lists(
+            st.tuples(rows, st.integers(min_value=1, max_value=12)),
+            max_size=150,
+        )
+    )
+    @settings(max_examples=200)
+    def test_batch_matches_singles(self, chunks):
+        single = MisraGriesBank(threshold=16, capacity=8)
+        batched = MisraGriesBank(threshold=16, capacity=8)
+        single_fires = 0
+        batched_fires = 0
+        for row, count in chunks:
+            for _ in range(count):
+                single_fires += single.observe(row)
+            batched_fires += batched.observe_batch(row, count)
+        assert single.spill == batched.spill
+        assert single._counts == batched._counts
+        # Fire totals may differ by at most the multi-crossing folding
+        # within one batch; with batch <= 12 << threshold they match.
+        assert single_fires == batched_fires
+
+
+class TestMinPointer:
+    @given(streams)
+    @settings(max_examples=100)
+    def test_min_count_is_true_minimum(self, stream):
+        bank = MisraGriesBank(threshold=16, capacity=8)
+        for row in stream:
+            bank.observe(row)
+        if len(bank):
+            assert bank.min_count() == min(bank._counts.values())

@@ -1,0 +1,59 @@
+"""Property tests: the RQA never reuses a slot within one epoch."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.quarantine import RowQuarantineArea, RqaExhaustedError
+
+
+@st.composite
+def allocation_schedules(draw):
+    """(row, epoch) pairs with non-decreasing epochs."""
+    epochs = 0
+    schedule = []
+    for step in range(draw(st.integers(min_value=1, max_value=60))):
+        if draw(st.booleans()):
+            epochs += 1
+        schedule.append((1000 + step, epochs))
+    return schedule
+
+
+class TestNoIntraEpochReuse:
+    @given(allocation_schedules(), st.integers(min_value=2, max_value=16))
+    @settings(max_examples=200)
+    def test_slot_epochs_unique(self, schedule, num_slots):
+        rqa = RowQuarantineArea(num_slots=num_slots)
+        filled = []  # (slot, epoch) history
+        for row, epoch in schedule:
+            try:
+                allocation = rqa.allocate(row, epoch)
+            except RqaExhaustedError:
+                # The guard fired: the head's slot was filled this epoch.
+                continue
+            assert (allocation.slot, epoch) not in filled
+            filled.append((allocation.slot, epoch))
+
+    @given(allocation_schedules(), st.integers(min_value=2, max_value=16))
+    @settings(max_examples=200)
+    def test_eviction_only_for_older_epochs(self, schedule, num_slots):
+        rqa = RowQuarantineArea(num_slots=num_slots)
+        install_epoch = {}
+        for row, epoch in schedule:
+            try:
+                allocation = rqa.allocate(row, epoch)
+            except RqaExhaustedError:
+                continue
+            if allocation.evicted_row is not None:
+                assert install_epoch[allocation.evicted_row] < epoch
+            install_epoch[row] = epoch
+
+    @given(allocation_schedules(), st.integers(min_value=2, max_value=16))
+    @settings(max_examples=100)
+    def test_occupancy_never_exceeds_slots(self, schedule, num_slots):
+        rqa = RowQuarantineArea(num_slots=num_slots)
+        for row, epoch in schedule:
+            try:
+                rqa.allocate(row, epoch)
+            except RqaExhaustedError:
+                continue
+            assert rqa.occupancy() <= num_slots

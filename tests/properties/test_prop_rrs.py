@@ -1,0 +1,65 @@
+"""Property tests: RRS's indirection is always a permutation.
+
+Any hammering sequence leaves the logical->physical map a bijection
+(no two logical rows share a physical row, every logical row resolves
+somewhere), and the data store always returns each row's own content.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.mitigations.rrs import RandomizedRowSwap
+
+from tests.conftest import SMALL_GEOMETRY
+
+
+hot_rows = st.integers(min_value=100, max_value=115)
+streams = st.lists(
+    st.tuples(hot_rows, st.integers(min_value=1, max_value=25)),
+    max_size=30,
+)
+
+
+def run_stream(stream, seed):
+    rrs = RandomizedRowSwap(
+        rowhammer_threshold=60,  # swaps every 10 activations
+        geometry=SMALL_GEOMETRY,
+        seed=seed,
+        tracker_entries_per_bank=64,
+    )
+    for row in range(100, 116):
+        rrs.data.write(row, f"content-{row}")
+    for row, burst in stream:
+        rrs.access_batch(row, burst, 0.0)
+    return rrs
+
+
+class TestPermutation:
+    @given(streams, st.integers(min_value=0, max_value=10))
+    @settings(max_examples=120, deadline=None)
+    def test_map_is_injective(self, stream, seed):
+        rrs = run_stream(stream, seed)
+        targets = list(rrs._map.values())
+        assert len(targets) == len(set(targets))
+
+    @given(streams, st.integers(min_value=0, max_value=10))
+    @settings(max_examples=120, deadline=None)
+    def test_forward_and_reverse_agree(self, stream, seed):
+        rrs = run_stream(stream, seed)
+        for logical, physical in rrs._map.items():
+            assert rrs.logical_of(physical) == logical
+
+    @given(streams, st.integers(min_value=0, max_value=10))
+    @settings(max_examples=100, deadline=None)
+    def test_data_integrity(self, stream, seed):
+        rrs = run_stream(stream, seed)
+        for row in range(100, 116):
+            location = rrs._physical_of(row)
+            assert rrs.data.read(location) == f"content-{row}"
+
+    @given(streams, st.integers(min_value=0, max_value=10))
+    @settings(max_examples=100, deadline=None)
+    def test_partners_symmetric(self, stream, seed):
+        rrs = run_stream(stream, seed)
+        for row, partner in rrs._partner.items():
+            assert rrs._partner[partner] == row

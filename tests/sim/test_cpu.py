@@ -1,0 +1,46 @@
+"""CPU slowdown model."""
+
+import pytest
+
+from repro.sim.cpu import gmean, normalized_performance, slowdown_from_busy
+
+
+class TestSlowdown:
+    def test_no_busy_means_no_slowdown(self):
+        assert slowdown_from_busy(0.8, 0.0, 64e6) == 1.0
+
+    def test_scales_with_memory_boundness(self):
+        heavy = slowdown_from_busy(0.9, 6.4e6, 64e6)
+        light = slowdown_from_busy(0.1, 6.4e6, 64e6)
+        assert heavy > light > 1.0
+
+    def test_ten_percent_busy_fully_bound(self):
+        assert slowdown_from_busy(1.0, 6.4e6, 64e6) == pytest.approx(1.1)
+
+    def test_stall_adds_directly(self):
+        base = slowdown_from_busy(0.5, 1e6, 64e6)
+        stalled = slowdown_from_busy(0.5, 1e6, 64e6, peak_stall_ns=1e6)
+        assert stalled > base
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            slowdown_from_busy(1.5, 0.0, 64e6)
+        with pytest.raises(ValueError):
+            slowdown_from_busy(0.5, 0.0, 0.0)
+
+
+class TestAggregates:
+    def test_normalized_performance(self):
+        assert normalized_performance(1.25) == pytest.approx(0.8)
+        with pytest.raises(ValueError):
+            normalized_performance(0.0)
+
+    def test_gmean(self):
+        assert gmean([1.0, 4.0]) == pytest.approx(2.0)
+        assert gmean([2.0]) == pytest.approx(2.0)
+
+    def test_gmean_validation(self):
+        with pytest.raises(ValueError):
+            gmean([])
+        with pytest.raises(ValueError):
+            gmean([1.0, 0.0])

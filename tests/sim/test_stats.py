@@ -1,0 +1,42 @@
+"""WorkloadResult arithmetic."""
+
+import pytest
+
+from repro.sim.stats import WorkloadResult
+
+
+def make_result(**overrides):
+    fields = dict(
+        workload="toy",
+        scheme="aqua",
+        epochs=2,
+        activations=1000,
+        migrations=10,
+        row_moves=12,
+        evictions=2,
+        busy_ns=1e6,
+        table_dram_ns=0.0,
+        peak_stall_ns=0.0,
+        slowdown=1.25,
+        mem_fraction=0.5,
+    )
+    fields.update(overrides)
+    return WorkloadResult(**fields)
+
+
+class TestDerived:
+    def test_migrations_per_epoch(self):
+        assert make_result().migrations_per_epoch == 5.0
+        assert make_result(epochs=0).migrations_per_epoch == 0.0
+
+    def test_normalized_performance(self):
+        assert make_result().normalized_performance == pytest.approx(0.8)
+
+    def test_percent_slowdown(self):
+        assert make_result().percent_slowdown == pytest.approx(25.0)
+
+    def test_summary_contains_key_facts(self):
+        text = make_result().summary()
+        assert "toy" in text
+        assert "aqua" in text
+        assert "25.00%" in text

@@ -1,0 +1,71 @@
+"""System simulator: epoch loop and result assembly."""
+
+import numpy as np
+import pytest
+
+from repro.core.aqua import AquaMitigation
+from repro.mitigations.none import NoMitigation
+from repro.sim.system import SystemSimulator
+from repro.workloads.trace import EpochTrace
+
+from tests.conftest import SMALL_GEOMETRY, make_aqua_config
+
+
+class ToyWorkload:
+    """Two hot rows crossing the trigger plus some cold traffic."""
+
+    name = "toy"
+    memory_boundness = 0.5
+
+    def epoch_trace(self, epoch: int) -> EpochTrace:
+        rows = np.array([10, 11, 10, 11, 50, 51], dtype=np.int64)
+        counts = np.array([20, 20, 20, 20, 2, 2], dtype=np.int64)
+        return EpochTrace(rows=rows, counts=counts)
+
+
+class TestRun:
+    def test_baseline_has_no_slowdown(self):
+        scheme = NoMitigation(total_rows=SMALL_GEOMETRY.rows_per_rank)
+        result = SystemSimulator(scheme).run(ToyWorkload(), epochs=1)
+        assert result.slowdown == 1.0
+        assert result.activations == 84
+        assert result.migrations == 0
+
+    def test_aqua_quarantines_hot_rows(self):
+        aqua = AquaMitigation(make_aqua_config())  # trigger at 32
+        result = SystemSimulator(aqua).run(ToyWorkload(), epochs=1)
+        assert result.migrations == 2  # rows 10 and 11 reach 40 > 32
+        assert result.slowdown > 1.0
+        assert result.busy_ns == pytest.approx(2 * 1370.0, rel=0.05)
+
+    def test_migrations_per_epoch_normalised(self):
+        aqua = AquaMitigation(make_aqua_config())
+        result = SystemSimulator(aqua).run(ToyWorkload(), epochs=2)
+        assert result.epochs == 2
+        assert result.migrations_per_epoch == result.migrations / 2
+
+    def test_epochs_reset_tracker_between_windows(self):
+        aqua = AquaMitigation(make_aqua_config())
+        result = SystemSimulator(aqua).run(ToyWorkload(), epochs=2)
+        # Each epoch re-triggers both hot rows independently.
+        assert result.migrations == 4
+
+    def test_lookup_breakdown_only_for_aqua(self):
+        aqua = AquaMitigation(make_aqua_config(table_mode="memory-mapped"))
+        result = SystemSimulator(aqua).run(ToyWorkload(), epochs=1)
+        assert result.lookup_breakdown is not None
+        baseline = NoMitigation(total_rows=SMALL_GEOMETRY.rows_per_rank)
+        result = SystemSimulator(baseline).run(ToyWorkload(), epochs=1)
+        assert result.lookup_breakdown is None
+
+    def test_invalid_epochs(self):
+        scheme = NoMitigation(total_rows=SMALL_GEOMETRY.rows_per_rank)
+        with pytest.raises(ValueError):
+            SystemSimulator(scheme).run(ToyWorkload(), epochs=0)
+
+    def test_summary_and_properties(self):
+        scheme = NoMitigation(total_rows=SMALL_GEOMETRY.rows_per_rank)
+        result = SystemSimulator(scheme).run(ToyWorkload(), epochs=1)
+        assert "toy" in result.summary()
+        assert result.normalized_performance == pytest.approx(1.0)
+        assert result.percent_slowdown == pytest.approx(0.0)

@@ -1,0 +1,59 @@
+"""CLI: every subcommand produces a sane report and exit code."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSizing:
+    def test_default_point(self, capsys):
+        assert main(["sizing"]) == 0
+        out = capsys.readouterr().out
+        assert "23,053" in out
+        assert "1.1" in out
+
+    def test_other_threshold(self, capsys):
+        assert main(["sizing", "--trh", "2000"]) == 0
+        assert "15,302" in capsys.readouterr().out
+
+
+class TestStorage:
+    def test_table_vii_columns(self, capsys):
+        assert main(["storage"]) == 0
+        out = capsys.readouterr().out
+        for name in ("RRS-MG", "AQUA-MG", "RRS-Hydra", "AQUA-Hydra"):
+            assert name in out
+
+
+class TestSweep:
+    def test_small_sweep(self, capsys):
+        code = main(
+            ["sweep", "--scheme", "aqua-sram", "--workloads", "xz", "wrf",
+             "--epochs", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "xz" in out and "wrf" in out
+
+    def test_unknown_workload_rejected(self, capsys):
+        assert main(["sweep", "--workloads", "doom"]) == 2
+        assert "unknown" in capsys.readouterr().out
+
+
+class TestAttack:
+    def test_half_double_vs_aqua_mitigated(self, capsys):
+        assert main(["attack", "--scheme", "aqua"]) == 0
+        assert "mitigated" in capsys.readouterr().out
+
+    def test_half_double_vs_victim_refresh_flips(self, capsys):
+        assert main(["attack", "--scheme", "victim-refresh"]) == 1
+        assert "BIT FLIPS" in capsys.readouterr().out
+
+    def test_single_sided_vs_aqua(self, capsys):
+        assert main(["attack", "--scheme", "aqua", "--pattern", "single"]) == 0
+
+
+class TestParser:
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])

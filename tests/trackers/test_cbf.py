@@ -1,0 +1,81 @@
+"""Counting bloom filter and the dual-CBF RowBlocker."""
+
+import pytest
+
+from repro.dram.timing import DDR4_2400
+from repro.trackers.cbf import CountingBloomFilter, RowBlocker
+
+
+class TestCountingBloomFilter:
+    def test_never_undercounts(self):
+        cbf = CountingBloomFilter(counters=64, hashes=4)
+        true = {}
+        for row in [1, 2, 3, 1, 1, 2, 9, 9, 9, 9]:
+            cbf.increment(row)
+            true[row] = true.get(row, 0) + 1
+        for row, count in true.items():
+            assert cbf.estimate(row) >= count
+
+    def test_exact_when_sparse(self):
+        cbf = CountingBloomFilter(counters=4096, hashes=4)
+        for _ in range(7):
+            cbf.increment(42)
+        assert cbf.estimate(42) == 7
+
+    def test_aliasing_overcounts_gracefully(self):
+        cbf = CountingBloomFilter(counters=4, hashes=2)
+        for row in range(100):
+            cbf.increment(row)
+        # Tiny filter: estimates inflate but never go negative/missing.
+        assert cbf.estimate(0) >= 1
+
+    def test_clear(self):
+        cbf = CountingBloomFilter(counters=64)
+        cbf.increment(5, amount=10)
+        cbf.clear()
+        assert cbf.estimate(5) == 0
+
+    def test_increment_amount(self):
+        cbf = CountingBloomFilter(counters=4096)
+        assert cbf.increment(7, amount=25) == 25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountingBloomFilter(counters=0)
+        with pytest.raises(ValueError):
+            CountingBloomFilter(counters=16).increment(1, amount=-1)
+
+    def test_sram_bytes(self):
+        assert CountingBloomFilter(counters=8192).sram_bytes == 16 * 1024
+
+
+class TestRowBlocker:
+    HALF = DDR4_2400.trefw_ns / 2
+
+    def test_estimates_accumulate_within_half_window(self):
+        blocker = RowBlocker(counters=4096)
+        for i in range(50):
+            blocker.observe(7, float(i))
+        assert blocker.estimate(7, 50.0) == 50
+
+    def test_rotation_preserves_recent_history(self):
+        blocker = RowBlocker(counters=4096)
+        for i in range(50):
+            blocker.observe(7, float(i))
+        # After one rotation, the newly-active filter counted the
+        # previous half-window too: history is not lost.
+        assert blocker.estimate(7, self.HALF + 1.0) == 50
+        assert blocker.rotations == 1
+
+    def test_old_history_expires_after_two_rotations(self):
+        blocker = RowBlocker(counters=4096)
+        blocker.observe(7, 0.0, amount=50)
+        assert blocker.estimate(7, 2 * self.HALF + 1.0) == 0
+
+    def test_never_undercounts_within_window(self):
+        blocker = RowBlocker(counters=4096)
+        blocker.observe(7, 0.0, amount=30)
+        blocker.observe(7, self.HALF + 1.0, amount=30)
+        # Both bursts fall within one refresh window of each other; the
+        # active estimate covers at least the most recent full half.
+        assert blocker.estimate(7, self.HALF + 2.0) >= 60

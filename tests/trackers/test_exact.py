@@ -1,0 +1,60 @@
+"""Exact tracker: ideal per-row counters."""
+
+import pytest
+
+from repro.trackers.exact import ExactTracker
+
+
+class TestCounting:
+    def test_triggers_every_multiple(self):
+        tracker = ExactTracker(threshold=4)
+        fires = [tracker.observe(7) for _ in range(12)]
+        assert [i + 1 for i, f in enumerate(fires) if f] == [4, 8, 12]
+
+    def test_estimate_is_exact(self):
+        tracker = ExactTracker(threshold=100)
+        for _ in range(17):
+            tracker.observe(3)
+        assert tracker.estimate(3) == 17
+
+    def test_batch_crossings(self):
+        tracker = ExactTracker(threshold=10)
+        assert tracker.observe_batch(1, 35) == 3
+        assert tracker.observe_batch(1, 5) == 1  # 35 -> 40 crosses 40
+        assert tracker.estimate(1) == 40
+
+    def test_batch_zero(self):
+        tracker = ExactTracker(threshold=10)
+        assert tracker.observe_batch(1, 0) == 0
+
+    def test_negative_batch_rejected(self):
+        tracker = ExactTracker(threshold=10)
+        with pytest.raises(ValueError):
+            tracker.observe_batch(1, -1)
+
+
+class TestAggregates:
+    def test_rows_at_or_above(self):
+        tracker = ExactTracker(threshold=1000)
+        tracker.observe_batch(1, 5)
+        tracker.observe_batch(2, 10)
+        tracker.observe_batch(3, 20)
+        assert tracker.rows_at_or_above(10) == 2
+        assert tracker.rows_at_or_above(21) == 0
+
+    def test_max_count(self):
+        tracker = ExactTracker(threshold=1000)
+        assert tracker.max_count() == 0
+        tracker.observe_batch(9, 42)
+        assert tracker.max_count() == 42
+
+    def test_reset(self):
+        tracker = ExactTracker(threshold=10)
+        tracker.observe_batch(1, 9)
+        tracker.reset()
+        assert tracker.estimate(1) == 0
+        assert tracker.max_count() == 0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            ExactTracker(threshold=0)

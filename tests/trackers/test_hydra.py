@@ -1,0 +1,82 @@
+"""Hydra hybrid tracker: group counters, per-row engagement, RCC."""
+
+import pytest
+
+from repro.trackers.hydra import HydraTracker
+
+
+class TestGroupPhase:
+    def test_group_counts_shared_below_threshold(self):
+        tracker = HydraTracker(
+            threshold=100, rows_per_group=4, group_threshold=50
+        )
+        # Rows 0..3 share group 0.
+        for _ in range(20):
+            tracker.observe(0)
+        assert tracker.estimate(1) == 20  # group estimate
+
+    def test_per_row_engages_at_group_threshold(self):
+        tracker = HydraTracker(
+            threshold=100, rows_per_group=4, group_threshold=10
+        )
+        for _ in range(10):
+            tracker.observe(0)
+        assert tracker.tracked_rows == 1
+
+
+class TestDetection:
+    def test_never_undercounts(self):
+        # The engaged per-row counter starts from the group count, so
+        # the estimate is always >= the true count (property P1 holds).
+        tracker = HydraTracker(
+            threshold=100, rows_per_group=4, group_threshold=10
+        )
+        true = 0
+        for _ in range(60):
+            tracker.observe(0)
+            true += 1
+            assert tracker.estimate(0) >= true or tracker.estimate(0) == 0
+
+    def test_trigger_fires_by_threshold(self):
+        tracker = HydraTracker(
+            threshold=50, rows_per_group=4, group_threshold=25
+        )
+        fired = any(tracker.observe(3) for _ in range(50))
+        assert fired
+
+
+class TestRcc:
+    def test_dram_access_charged_on_miss(self):
+        tracker = HydraTracker(
+            threshold=100, rows_per_group=1, group_threshold=1, rcc_entries=2
+        )
+        for row in (1, 2, 3, 4):
+            tracker.observe(row)
+            tracker.observe(row)
+        assert tracker.rct_dram_accesses >= 4
+
+    def test_rcc_hit_on_hot_row(self):
+        tracker = HydraTracker(
+            threshold=100, rows_per_group=1, group_threshold=1
+        )
+        tracker.observe(1)
+        tracker.observe(1)
+        assert tracker.rcc_hits >= 1
+
+
+class TestValidation:
+    def test_reset(self):
+        tracker = HydraTracker(threshold=100, rows_per_group=4)
+        for _ in range(60):
+            tracker.observe(0)
+        tracker.reset()
+        assert tracker.estimate(0) == 0
+        assert tracker.tracked_rows == 0
+
+    def test_invalid_group_threshold(self):
+        with pytest.raises(ValueError):
+            HydraTracker(threshold=10, group_threshold=11)
+
+    def test_invalid_rows_per_group(self):
+        with pytest.raises(ValueError):
+            HydraTracker(threshold=10, rows_per_group=0)

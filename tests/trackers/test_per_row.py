@@ -1,0 +1,69 @@
+"""Per-row DRAM counter tracker (CRA/Panopticon-style)."""
+
+import pytest
+
+from repro.trackers.per_row import PerRowCounterTracker
+
+
+class TestExactness:
+    def test_counts_are_exact(self):
+        tracker = PerRowCounterTracker(threshold=100)
+        for _ in range(37):
+            tracker.observe(5)
+        assert tracker.estimate(5) == 37
+
+    def test_triggers_at_multiples(self):
+        tracker = PerRowCounterTracker(threshold=10)
+        fires = sum(tracker.observe(5) for _ in range(30))
+        assert fires == 3
+
+    def test_batch_matches_singles(self):
+        a = PerRowCounterTracker(threshold=10)
+        b = PerRowCounterTracker(threshold=10)
+        fires_a = sum(a.observe(5) for _ in range(25))
+        fires_b = b.observe_batch(5, 25)
+        assert fires_a == fires_b
+        assert a.estimate(5) == b.estimate(5)
+
+    def test_no_spurious_mitigations_ever(self):
+        # The contrast with Misra-Gries: streaming misses never trigger.
+        tracker = PerRowCounterTracker(threshold=10, cache_entries=4)
+        fires = sum(tracker.observe(row) for row in range(10_000))
+        assert fires == 0
+
+
+class TestCounterTraffic:
+    def test_hot_rows_hit_the_cache(self):
+        tracker = PerRowCounterTracker(threshold=1000, cache_entries=64)
+        for _ in range(100):
+            tracker.observe(5)
+        assert tracker.cache_hits == 99
+        assert tracker.counter_dram_accesses == 1
+
+    def test_streaming_rows_thrash_to_dram(self):
+        tracker = PerRowCounterTracker(threshold=1000, cache_entries=8)
+        for row in range(1000):
+            tracker.observe(row)
+        # Every distinct row misses; evictions write back.
+        assert tracker.counter_dram_accesses >= 1000
+        assert tracker.dram_traffic_per_activation >= 1.0
+
+    def test_writeback_toggle(self):
+        lean = PerRowCounterTracker(
+            threshold=1000, cache_entries=8, writeback=False
+        )
+        for row in range(1000):
+            lean.observe(row)
+        assert lean.counter_dram_accesses == 1000
+
+    def test_reset(self):
+        tracker = PerRowCounterTracker(threshold=10)
+        tracker.observe_batch(5, 9)
+        tracker.reset()
+        assert tracker.estimate(5) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PerRowCounterTracker(threshold=10, cache_entries=0)
+        with pytest.raises(ValueError):
+            PerRowCounterTracker(threshold=10).observe_batch(1, -1)

@@ -1,0 +1,69 @@
+"""Mixed workloads: composition, scaling, interleaving."""
+
+import pytest
+
+from repro.workloads.mixes import (
+    MixWorkload,
+    all_mixes,
+    mix_compositions,
+    single_copy,
+)
+from repro.workloads.table2 import TABLE_II
+
+
+class TestComposition:
+    def test_sixteen_mixes_of_four(self):
+        mixes = all_mixes()
+        assert len(mixes) == 16
+        for mix in mixes:
+            assert len(mix.names) == 4
+            assert len(set(mix.names)) == 4
+
+    def test_compositions_deterministic(self):
+        assert mix_compositions() == mix_compositions()
+
+    def test_names(self):
+        assert all_mixes()[3].name == "mix03"
+
+
+class TestSingleCopyScaling:
+    def test_quarter_intensity(self):
+        scaled = single_copy(TABLE_II["lbm"])
+        assert scaled.mpki == pytest.approx(20.9 / 4)
+        assert scaled.act_500_plus == 5437 // 4
+
+    def test_bands_stay_consistent(self):
+        for spec in TABLE_II.values():
+            scaled = single_copy(spec)
+            assert scaled.act_166_plus >= scaled.act_500_plus
+
+
+class TestTraces:
+    def test_trace_unions_members(self):
+        mix = all_mixes()[0]
+        trace = mix.epoch_trace(0)
+        member_total = sum(
+            member.epoch_trace(0).total_activations
+            for member in mix.members
+        )
+        assert trace.total_activations == member_total
+
+    def test_members_use_disjoint_regions(self):
+        mix = all_mixes()[0]
+        member_rows = [
+            set(member.epoch_trace(0).rows.tolist())
+            for member in mix.members
+        ]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not (member_rows[i] & member_rows[j])
+
+    def test_mix_mpki_is_member_sum(self):
+        mix = all_mixes()[0]
+        assert mix.mpki == pytest.approx(
+            sum(member.mpki for member in mix.members)
+        )
+
+    def test_wrong_member_count_rejected(self):
+        with pytest.raises(ValueError):
+            MixWorkload(0, ["lbm", "gcc"])

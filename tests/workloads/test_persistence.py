@@ -1,0 +1,75 @@
+"""Trace archives: record, save, load, replay."""
+
+import numpy as np
+import pytest
+
+from repro.sim.system import SystemSimulator
+from repro.mitigations.none import NoMitigation
+from repro.workloads.persistence import TraceArchive
+from repro.workloads.spec import workload
+
+from tests.conftest import SMALL_GEOMETRY
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_traces(self, tmp_path):
+        archive = TraceArchive.record(workload("roms"), epochs=2)
+        path = str(tmp_path / "roms.npz")
+        archive.save(path)
+        loaded = TraceArchive.load(path)
+        assert loaded.name == "roms"
+        assert loaded.epochs == 2
+        for epoch in range(2):
+            original = archive.epoch_trace(epoch)
+            restored = loaded.epoch_trace(epoch)
+            assert (original.rows == restored.rows).all()
+            assert (original.counts == restored.counts).all()
+
+    def test_metadata_preserved(self, tmp_path):
+        archive = TraceArchive.record(workload("xz"), epochs=1)
+        path = str(tmp_path / "xz.npz")
+        archive.save(path)
+        loaded = TraceArchive.load(path)
+        assert loaded.mpki == pytest.approx(0.41)
+        assert loaded.memory_boundness == pytest.approx(
+            workload("xz").memory_boundness
+        )
+
+
+class TestReplay:
+    def test_archive_drives_the_simulator(self, tmp_path):
+        archive = TraceArchive.record(workload("xz"), epochs=1)
+        path = str(tmp_path / "xz.npz")
+        archive.save(path)
+        loaded = TraceArchive.load(path)
+        scheme = NoMitigation(total_rows=SMALL_GEOMETRY.rows_per_rank * 512)
+        result = SystemSimulator(scheme).run(loaded, epochs=1)
+        assert result.activations == archive.epoch_trace(0).total_activations
+
+    def test_epochs_cycle_past_recording(self):
+        archive = TraceArchive.record(workload("xz"), epochs=2)
+        cycled = archive.epoch_trace(5)
+        assert (cycled.rows == archive.epoch_trace(1).rows).all()
+
+
+class TestValidation:
+    def test_empty_archive_rejected(self):
+        with pytest.raises(ValueError):
+            TraceArchive("x", 0.0, [])
+
+    def test_zero_epoch_recording_rejected(self):
+        with pytest.raises(ValueError):
+            TraceArchive.record(workload("xz"), epochs=0)
+
+    def test_version_check(self, tmp_path):
+        import json
+
+        path = str(tmp_path / "bad.npz")
+        meta = np.frombuffer(
+            json.dumps({"version": 99, "epochs": 0, "name": "x",
+                        "mpki": 0}).encode(),
+            dtype=np.uint8,
+        )
+        np.savez_compressed(path, meta=meta)
+        with pytest.raises(ValueError):
+            TraceArchive.load(path)

@@ -1,0 +1,74 @@
+"""Synthetic SPEC workloads: calibration against Table II."""
+
+import pytest
+
+from repro.workloads.spec import SyntheticWorkload, workload
+from repro.workloads.table2 import TABLE_II
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("name", ["lbm", "gcc", "roms", "xz"])
+    def test_hot_row_bands_match_table_ii(self, name):
+        spec = TABLE_II[name]
+        trace = workload(name).epoch_trace(0)
+        assert trace.rows_at_or_above(166) == spec.act_166_plus
+        assert trace.rows_at_or_above(500) == spec.act_500_plus
+        assert trace.rows_at_or_above(1000) == spec.act_1k_plus
+
+    def test_cold_workload_has_no_hot_rows(self):
+        trace = workload("wrf").epoch_trace(0)
+        assert trace.rows_at_or_above(166) == 0
+        assert trace.total_activations > 0
+
+    def test_memory_boundness_ordering(self):
+        assert (
+            workload("lbm").memory_boundness
+            > workload("mcf").memory_boundness
+            > workload("xz").memory_boundness
+        )
+
+
+class TestDeterminism:
+    def test_same_epoch_same_trace(self):
+        a = workload("gcc").epoch_trace(0)
+        b = workload("gcc").epoch_trace(0)
+        assert (a.rows == b.rows).all()
+        assert (a.counts == b.counts).all()
+
+    def test_different_epochs_differ(self):
+        a = workload("gcc").epoch_trace(0)
+        b = workload("gcc").epoch_trace(1)
+        assert a.row_totals() != b.row_totals()
+
+    def test_seed_changes_rows(self):
+        a = workload("gcc", seed=0).epoch_trace(0)
+        b = workload("gcc", seed=1).epoch_trace(0)
+        assert a.row_totals() != b.row_totals()
+
+
+class TestAddressing:
+    def test_rows_stay_out_of_reserved_region(self):
+        target = workload("lbm")
+        trace = target.epoch_trace(0)
+        assert int(trace.rows.max()) < target.addressable_rows
+
+    def test_region_confines_rows(self):
+        target = workload("gcc", region_base=50_000, region_rows=200_000)
+        trace = target.epoch_trace(0)
+        assert int(trace.rows.min()) >= 50_000
+        assert int(trace.rows.max()) < 250_000
+
+    def test_invalid_region_rejected(self):
+        with pytest.raises(ValueError):
+            workload("gcc", region_base=0, region_rows=10**9)
+
+
+class TestValidation:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            workload("quake")
+
+    def test_background_cap_respected(self):
+        target = workload("imagick", max_background_acts=1000)
+        trace = target.epoch_trace(0)
+        assert trace.total_activations <= 1100

@@ -1,0 +1,44 @@
+"""Table II data integrity."""
+
+import pytest
+
+from repro.workloads.table2 import (
+    SPEC_NAMES,
+    TABLE_II,
+    WorkloadSpec,
+    average_mpki,
+)
+
+
+class TestTableII:
+    def test_eighteen_workloads(self):
+        assert len(TABLE_II) == 18
+        assert SPEC_NAMES[0] == "lbm"
+
+    def test_average_mpki_matches_paper(self):
+        # The paper prints "3.5"; the mean of its printed per-workload
+        # values is 3.28 (the table's own rounding).
+        assert average_mpki() == pytest.approx(3.3, abs=0.25)
+
+    def test_lbm_row(self):
+        lbm = TABLE_II["lbm"]
+        assert lbm.mpki == 20.9
+        assert lbm.act_166_plus == 6794
+        assert lbm.act_500_plus == 5437
+        assert lbm.act_1k_plus == 0
+
+    def test_bands_partition(self):
+        for spec in TABLE_II.values():
+            assert (
+                spec.band_166 + spec.band_500 + spec.band_1k
+                == spec.act_166_plus
+            )
+
+    def test_eleven_workloads_have_no_hot_rows(self):
+        # Table II: perlbench through parest have zero 166+ rows.
+        cold = [s for s in TABLE_II.values() if s.act_166_plus == 0]
+        assert len(cold) == 11
+
+    def test_monotonic_bands_enforced(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("bad", 1.0, 10, 20, 0)

@@ -1,0 +1,71 @@
+"""Trace utilities: chunking, totals, memory-boundness."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.trace import (
+    EpochTrace,
+    acts_per_epoch,
+    chunk_counts,
+    memory_boundness,
+)
+
+
+class TestChunking:
+    def test_totals_preserved(self):
+        rows = np.array([1, 2, 3], dtype=np.int64)
+        totals = np.array([700, 64, 10], dtype=np.int64)
+        chunk_rows, counts = chunk_counts(rows, totals, chunk=64)
+        assert counts.sum() == 774
+        by_row = {}
+        for row, count in zip(chunk_rows, counts):
+            by_row[row] = by_row.get(row, 0) + count
+        assert by_row == {1: 700, 2: 64, 3: 10}
+
+    def test_chunk_sizes_bounded(self):
+        rows = np.array([1], dtype=np.int64)
+        totals = np.array([1000], dtype=np.int64)
+        _, counts = chunk_counts(rows, totals, chunk=64)
+        assert counts.max() <= 64
+
+    def test_empty_input(self):
+        empty = np.empty(0, dtype=np.int64)
+        chunk_rows, counts = chunk_counts(empty, empty.copy())
+        assert len(chunk_rows) == 0
+
+    def test_invalid_chunk(self):
+        with pytest.raises(ValueError):
+            chunk_counts(np.array([1]), np.array([5]), chunk=0)
+
+
+class TestEpochTrace:
+    def test_row_totals_and_thresholds(self):
+        trace = EpochTrace(
+            rows=np.array([1, 2, 1], dtype=np.int64),
+            counts=np.array([64, 30, 36], dtype=np.int64),
+        )
+        assert trace.total_activations == 130
+        assert trace.row_totals() == {1: 100, 2: 30}
+        assert trace.rows_at_or_above(100) == 1
+        assert trace.rows_at_or_above(30) == 2
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            EpochTrace(
+                rows=np.array([1, 2]), counts=np.array([1])
+            )
+
+
+class TestModels:
+    def test_memory_boundness_monotonic(self):
+        assert memory_boundness(0.0) == 0.0
+        assert memory_boundness(20.9) > memory_boundness(0.41)
+        assert memory_boundness(1000.0) < 1.0
+
+    def test_memory_boundness_rejects_negative(self):
+        with pytest.raises(ValueError):
+            memory_boundness(-1.0)
+
+    def test_acts_per_epoch_scales_with_mpki(self):
+        assert acts_per_epoch(20.9) > acts_per_epoch(2.0) > 0
+        assert acts_per_epoch(0.0) == 0
