@@ -5,7 +5,9 @@ Subcommands::
     python -m repro sizing  --trh 1000            # Table III-style sizing
     python -m repro storage --trh 1000            # Table VII-style SRAM
     python -m repro sweep   --scheme aqua-mm --workloads lbm gcc
+    python -m repro sweep   --trace out.jsonl --metrics --seed 7
     python -m repro attack  --scheme aqua --pattern half-double
+    python -m repro inspect out.jsonl             # summarize a trace
 
 Each prints a compact report to stdout; exit code 0 on success.
 """
@@ -25,6 +27,14 @@ from repro.dram.geometry import DramGeometry
 from repro.mitigations.victim_refresh import VictimRefresh
 from repro.sim import runner
 from repro.sim.system import SystemSimulator
+from repro.telemetry import (
+    Telemetry,
+    load_trace,
+    render_summary,
+    summarize_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
 from repro.workloads.spec import workload
 from repro.workloads.table2 import SPEC_NAMES
 
@@ -39,6 +49,31 @@ SCHEME_FACTORIES = {
 
 ATTACK_GEOMETRY = DramGeometry(banks_per_rank=4, rows_per_bank=4096)
 ATTACK_TRH = 128
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1 (clean error, no traceback)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 1 (got {value})"
+        )
+    return value
+
+
+def _sample_rate(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if not 0.0 < value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"must be in (0, 1] (got {value})"
+        )
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -59,18 +94,39 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--scheme", choices=sorted(SCHEME_FACTORIES),
                        default="aqua-mm")
     sweep.add_argument("--trh", type=int, default=1000)
-    sweep.add_argument("--epochs", type=int, default=2)
+    sweep.add_argument("--epochs", type=_positive_int, default=2,
+                       help="refresh windows to simulate (>= 1)")
     sweep.add_argument("--workloads", nargs="*", default=["lbm", "gcc", "xz"],
                        metavar="NAME", help=f"choose from {SPEC_NAMES}")
+    sweep.add_argument("--seed", type=int, default=0,
+                       help="workload-generation seed (reproducible traces)")
+    sweep.add_argument("--trace", metavar="PATH", default=None,
+                       help="write the event trace to PATH")
+    sweep.add_argument("--trace-format", choices=["jsonl", "chrome"],
+                       default="jsonl",
+                       help="trace export format (default jsonl)")
+    sweep.add_argument("--trace-sample", type=_sample_rate, default=1.0,
+                       metavar="RATE",
+                       help="keep this fraction of events (default 1.0)")
+    sweep.add_argument("--metrics", action="store_true",
+                       help="print the per-workload metrics table")
 
     attack = sub.add_parser("attack", help="run an attack experiment")
     attack.add_argument("--scheme", choices=["aqua", "victim-refresh"],
                         default="aqua")
     attack.add_argument(
         "--pattern",
-        choices=["single", "double", "many", "half-double"],
+        choices=["single", "double", "many", "half-double", "blacksmith"],
         default="half-double",
     )
+    attack.add_argument("--seed", type=int, default=0xB5,
+                        help="pattern-generation seed (blacksmith fuzzing)")
+
+    inspect = sub.add_parser(
+        "inspect", help="summarize an exported event trace"
+    )
+    inspect.add_argument("trace", metavar="PATH",
+                         help="trace file (JSONL or Chrome trace-event)")
     return parser
 
 
@@ -104,12 +160,60 @@ def _cmd_sweep(args) -> int:
         print(f"error: unknown workloads {unknown}; choose from {SPEC_NAMES}")
         return 2
     factory = SCHEME_FACTORIES[args.scheme](args.trh)
+    instrumented = bool(args.trace or args.metrics)
     print(f"{args.scheme} @ T_RH={args.trh}, {args.epochs} epoch(s):")
+    tagged_events = []
     for name in args.workloads:
-        result = SystemSimulator(factory()).run(
-            workload(name), epochs=args.epochs
+        telemetry = (
+            Telemetry(sample_rate=args.trace_sample) if instrumented else None
+        )
+        scheme = (
+            factory(telemetry=telemetry) if telemetry is not None else factory()
+        )
+        result = SystemSimulator(scheme).run(
+            workload(name, seed=args.seed), epochs=args.epochs
         )
         print(f"  {result.summary()}")
+        if telemetry is None:
+            continue
+        if args.metrics:
+            print(f"  metrics [{name}]:")
+            print(telemetry.metrics_table())
+        if args.trace:
+            tag = {"workload": name}
+            tagged_events.extend(
+                (event, tag) for event in telemetry.tracer.events()
+            )
+            if telemetry.tracer.dropped:
+                print(
+                    f"  warning: {name} trace dropped "
+                    f"{telemetry.tracer.dropped:,} events "
+                    "(ring buffer wrapped)"
+                )
+    if args.trace:
+        writer = (
+            write_chrome_trace
+            if args.trace_format == "chrome"
+            else write_jsonl
+        )
+        count = writer(args.trace, tagged_events)
+        print(f"wrote {count:,} events to {args.trace}")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    try:
+        records = load_trace(args.trace)
+    except OSError as exc:
+        print(f"error: cannot read trace: {exc}")
+        return 2
+    except ValueError as exc:
+        print(f"error: malformed trace: {exc}")
+        return 2
+    if not records:
+        print("error: trace contains no events")
+        return 2
+    print(render_summary(summarize_trace(records)))
     return 0
 
 
@@ -141,6 +245,11 @@ def _cmd_attack(args) -> int:
     elif args.pattern == "many":
         pattern = patterns.many_sided(mapper, 1, 100, aggressors=8,
                                       rounds=400)
+    elif args.pattern == "blacksmith":
+        pattern = patterns.blacksmith(
+            mapper, 1, 100, aggressors=8,
+            total_activations=3200, seed=args.seed,
+        )
     else:
         pattern = patterns.half_double(
             mapper, 1, 100,
@@ -171,6 +280,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "storage": _cmd_storage,
         "sweep": _cmd_sweep,
         "attack": _cmd_attack,
+        "inspect": _cmd_inspect,
     }
     return handlers[args.command](args)
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from repro.core.config import AquaConfig
+from repro.core.migration import MigrationCosts, publish_costs
 from repro.core.memtables import (
     LookupOutcome,
     MemoryMappedTables,
@@ -64,11 +65,17 @@ class AquaMitigation(MitigationScheme):
 
     name = "aqua"
 
-    def __init__(self, config: Optional[AquaConfig] = None) -> None:
-        super().__init__()
+    def __init__(
+        self, config: Optional[AquaConfig] = None, telemetry=None
+    ) -> None:
+        super().__init__(telemetry)
         self.config = config if config is not None else AquaConfig()
         cfg = self.config
-        self.rqa = RowQuarantineArea(cfg.derived_rqa_slots)
+        self.rqa = RowQuarantineArea(
+            cfg.derived_rqa_slots,
+            telemetry=self.telemetry,
+            clock=lambda: self.now_ns,
+        )
         self.rqa_base = cfg.rqa_base_row
         self.tracker = _build_tracker(cfg)
         self.tables: TableBackend
@@ -95,6 +102,15 @@ class AquaMitigation(MitigationScheme):
         self._migration_ns = cfg.timing.migration_ns(cfg.geometry.row_bytes)
         self.internal_migrations = 0
         self.table_row_quarantines = 0
+        if self.telemetry.enabled:
+            self.tracker.attach_telemetry(
+                self.telemetry, lambda: self.now_ns
+            )
+            publish_costs(
+                self.telemetry,
+                MigrationCosts.for_row(cfg.geometry.row_bytes, cfg.timing),
+                scheme=self.name,
+            )
 
     # ------------------------------------------------------------ scheme API
 
@@ -141,7 +157,7 @@ class AquaMitigation(MitigationScheme):
     def _mitigate(
         self, logical_row: int, physical_row: int, now_ns: float
     ) -> AccessResult:
-        return self._quarantine(logical_row, physical_row)
+        return self._quarantine(logical_row, physical_row, now_ns)
 
     def _end_epoch(self, new_epoch: int) -> None:
         super()._end_epoch(new_epoch)
@@ -150,11 +166,14 @@ class AquaMitigation(MitigationScheme):
 
     # -------------------------------------------------------------- internals
 
-    def _quarantine(self, logical_row: int, physical_row: int) -> AccessResult:
+    def _quarantine(
+        self, logical_row: int, physical_row: int, now_ns: float
+    ) -> AccessResult:
         """Move ``logical_row`` (currently at ``physical_row``) into the RQA."""
         busy = 0.0
         extra_acts = []
         evicted = False
+        telemetry = self.telemetry
         allocation = self.rqa.allocate(logical_row, self.current_epoch)
         dest_physical = self.rqa_base + allocation.slot
         if (
@@ -176,6 +195,15 @@ class AquaMitigation(MitigationScheme):
             self.stats.row_moves += 1
             self.stats.evictions += 1
             evicted = True
+            if telemetry.enabled:
+                telemetry.event(
+                    "eviction", now_ns,
+                    scheme=self.name, row=stale, slot=allocation.slot,
+                    reason="lazy-drain",
+                )
+                telemetry.inc(
+                    "evictions_total", scheme=self.name, reason="lazy-drain"
+                )
         was_quarantined = physical_row != logical_row
         if was_quarantined and physical_row != dest_physical:
             # Internal migration: free the slot the row came from.
@@ -193,6 +221,16 @@ class AquaMitigation(MitigationScheme):
         extra_acts.append(dest_physical)
         self.stats.migrations += 1
         self.stats.row_moves += 1
+        if telemetry.enabled:
+            telemetry.event(
+                "migration", now_ns,
+                scheme=self.name, row=logical_row, src=physical_row,
+                dest=dest_physical, slot=allocation.slot, reason="demand",
+                busy_ns=busy,
+            )
+            telemetry.inc(
+                "migrations_total", scheme=self.name, reason="demand"
+            )
         return AccessResult(
             physical_row=dest_physical,
             busy_ns=busy,
@@ -221,6 +259,7 @@ class AquaMitigation(MitigationScheme):
 
     def _quarantine_table_row(self, table_row: int) -> None:
         """Move a hammered table row into the RQA (Sec. VI-B integrity)."""
+        telemetry = self.telemetry
         physical = self._pinned_fpt.get(table_row, table_row)
         allocation = self.rqa.allocate(table_row, self.current_epoch)
         dest_physical = self.rqa_base + allocation.slot
@@ -232,6 +271,15 @@ class AquaMitigation(MitigationScheme):
             self.stats.row_moves += 1
             self.stats.evictions += 1
             self.energy.add_migration(self.config.geometry.row_bytes)
+            if telemetry.enabled:
+                telemetry.event(
+                    "eviction", self.now_ns,
+                    scheme=self.name, row=stale, slot=allocation.slot,
+                    reason="lazy-drain",
+                )
+                telemetry.inc(
+                    "evictions_total", scheme=self.name, reason="lazy-drain"
+                )
         if self.data is not None:
             self.data.move(physical, dest_physical)
         if physical != table_row:
@@ -242,6 +290,15 @@ class AquaMitigation(MitigationScheme):
         self.stats.row_moves += 1
         self.table_row_quarantines += 1
         self.energy.add_migration(self.config.geometry.row_bytes)
+        if telemetry.enabled:
+            telemetry.event(
+                "migration", self.now_ns,
+                scheme=self.name, row=table_row, src=physical,
+                dest=dest_physical, slot=allocation.slot, reason="table-row",
+            )
+            telemetry.inc(
+                "migrations_total", scheme=self.name, reason="table-row"
+            )
 
     # --------------------------------------------------------------- services
 
@@ -299,6 +356,34 @@ class AquaMitigation(MitigationScheme):
             self.energy.add_migration(self.config.geometry.row_bytes)
             drained += 1
         return drained
+
+    def collect_metrics(self, telemetry) -> None:
+        """Snapshot-time export of AQUA's structure-level statistics."""
+        super().collect_metrics(telemetry)
+        registry = telemetry.registry
+        scheme = self.name
+        registry.gauge("rqa_occupancy").set(
+            self.rqa.occupancy(), scheme=scheme
+        )
+        registry.counter("rqa_allocations_total").set_total(
+            self.rqa.allocations, scheme=scheme
+        )
+        registry.counter("rqa_evictions_total").set_total(
+            self.rqa.evictions, scheme=scheme
+        )
+        registry.counter("internal_migrations_total").set_total(
+            self.internal_migrations, scheme=scheme
+        )
+        registry.counter("table_row_quarantines_total").set_total(
+            self.table_row_quarantines, scheme=scheme
+        )
+        self.tracker.collect_metrics(telemetry, scheme=scheme)
+        if isinstance(self.tables, MemoryMappedTables):
+            self.tables.cache.collect_metrics(telemetry, scheme=scheme)
+            for outcome, count in self.tables.outcome_counts.items():
+                registry.counter("fpt_lookup_outcomes_total").set_total(
+                    count, scheme=scheme, outcome=outcome.value
+                )
 
     def lookup_breakdown(self) -> Dict[LookupOutcome, float]:
         """Fig. 10 series (memory-mapped mode only)."""

@@ -159,3 +159,28 @@ class FptCache:
         return sum(
             1 for ways in self._sets for entry in ways if entry.valid
         )
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache so far."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def collect_metrics(self, telemetry, **labels) -> None:
+        """Snapshot-time export: hit/miss/singleton counts + occupancy.
+
+        The cache keeps plain integer counters on its hot path; this
+        copies them into the registry only when a snapshot is taken, so
+        per-epoch timeline entries show the hit-rate evolution for free.
+        """
+        registry = telemetry.registry
+        registry.counter("fpt_cache_hits_total").set_total(
+            self.hits, **labels
+        )
+        registry.counter("fpt_cache_misses_total").set_total(
+            self.misses, **labels
+        )
+        registry.counter("fpt_cache_singleton_filtered_total").set_total(
+            self.singleton_filtered, **labels
+        )
+        registry.gauge("fpt_cache_occupancy").set(self.occupancy(), **labels)
+        registry.gauge("fpt_cache_hit_rate").set(self.hit_rate(), **labels)

@@ -56,3 +56,20 @@ class MigrationCosts:
 
 DEFAULT_COSTS = MigrationCosts.for_row()
 """Costs for the baseline 8 KB row on DDR4-2400."""
+
+
+def publish_costs(telemetry, costs: MigrationCosts, scheme: str) -> None:
+    """Expose a scheme's configured migration costs as gauges.
+
+    Called once at scheme construction (when telemetry is enabled) so
+    traces and metric dumps are self-describing: the per-event
+    ``busy_ns`` values can be cross-checked against the Sec. IV-D
+    constants that produced them.
+    """
+    gauge = telemetry.registry.gauge
+    gauge("migration_cost_ns").set(costs.migration_ns, scheme=scheme)
+    gauge("migration_with_eviction_cost_ns").set(
+        costs.migration_with_eviction_ns, scheme=scheme
+    )
+    gauge("row_transfer_cost_ns").set(costs.transfer_ns, scheme=scheme)
+    gauge("row_bytes").set(costs.row_bytes, scheme=scheme)

@@ -19,9 +19,10 @@ security guarantee:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.core.rpt import ReversePointerTable
+from repro.telemetry import NULL_TELEMETRY
 
 
 class RqaExhaustedError(RuntimeError):
@@ -49,7 +50,13 @@ class RowQuarantineArea:
     mitigation orchestrator owns the FPT and data movement.
     """
 
-    def __init__(self, num_slots: int, rpt: Optional[ReversePointerTable] = None) -> None:
+    def __init__(
+        self,
+        num_slots: int,
+        rpt: Optional[ReversePointerTable] = None,
+        telemetry=None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
         if num_slots < 1:
             raise ValueError("num_slots must be >= 1")
         self.num_slots = num_slots
@@ -59,6 +66,11 @@ class RowQuarantineArea:
         self.head = 0
         self.allocations = 0
         self.evictions = 0
+        self.head_wraps = 0
+        #: Observability sink plus a simulated-time clock (the RQA has
+        #: no notion of time itself; the owning scheme lends it one).
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._clock = clock if clock is not None else (lambda: 0.0)
 
     def allocate(self, row_id: int, epoch: int) -> Allocation:
         """Claim the slot at the head for ``row_id`` in ``epoch``.
@@ -84,7 +96,19 @@ class RowQuarantineArea:
             self.evictions += 1
         self.rpt.install(slot, row_id, epoch)
         self.head = (self.head + 1) % self.num_slots
+        if self.head == 0:
+            self.head_wraps += 1
         self.allocations += 1
+        if self.telemetry.enabled:
+            # One rotation event per row entering the circular buffer:
+            # the standing record of which rows rotated through
+            # quarantine, and when.
+            self.telemetry.event(
+                "quarantine_rotation", self._clock(),
+                row=row_id, slot=slot, epoch=epoch,
+                evicted_row=evicted, head_wrapped=self.head == 0,
+            )
+            self.telemetry.inc("rqa_rotations_total")
         return Allocation(slot=slot, evicted_row=evicted)
 
     def release(self, slot: int) -> Optional[int]:

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.dram.refresh import RefreshScheduler
+from repro.telemetry import NULL_TELEMETRY
 
 
 @dataclass
@@ -69,10 +70,18 @@ class MitigationScheme(abc.ABC):
 
     name = "abstract"
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry=None) -> None:
         self.stats = SchemeStats()
         self.refresh = RefreshScheduler()
         self.current_epoch = 0
+        #: Shared observability sink; the null object keeps the
+        #: uninstrumented path allocation-free (one attribute load and
+        #: branch on ``telemetry.enabled`` per batch).
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        #: Last timestamp seen by ``access``/``access_batch``: gives
+        #: time-less internal paths (table-row quarantines, tracker
+        #: installs) a simulated-time stamp for their events.
+        self.now_ns = 0.0
 
     @abc.abstractmethod
     def _translate(self, logical_row: int) -> Tuple[int, float, Optional[object]]:
@@ -94,9 +103,32 @@ class MitigationScheme(abc.ABC):
         self.stats.epochs += 1
 
     def _sync_epoch(self, now_ns: float) -> None:
+        self.now_ns = now_ns
         epoch = self.refresh.epoch_of(now_ns)
         if epoch != self.current_epoch:
             self._end_epoch(epoch)
+
+    def collect_metrics(self, telemetry) -> None:
+        """Copy scheme statistics into the metrics registry.
+
+        Registered as a snapshot-time collector so the hot path pays
+        nothing; subclasses extend this with their own structures.
+        """
+        stats = self.stats
+        registry = telemetry.registry
+        scheme = self.name
+        counters = (
+            ("scheme_accesses_total", stats.accesses),
+            ("scheme_migrations_total", stats.migrations),
+            ("scheme_row_moves_total", stats.row_moves),
+            ("scheme_evictions_total", stats.evictions),
+            ("scheme_victim_refreshes_total", stats.victim_refreshes),
+            ("scheme_busy_ns_total", stats.busy_ns),
+            ("scheme_stall_ns_total", stats.stall_ns),
+            ("scheme_epochs_total", stats.epochs),
+        )
+        for name, value in counters:
+            registry.counter(name).set_total(value, scheme=scheme)
 
     def access(self, logical_row: int, now_ns: float) -> AccessResult:
         """Route one activation of ``logical_row`` at time ``now_ns``."""
@@ -111,6 +143,10 @@ class MitigationScheme(abc.ABC):
         result.lookup_outcome = outcome
         self.stats.busy_ns += result.busy_ns
         self.stats.stall_ns += result.stalled_ns
+        if self.telemetry.enabled:
+            self.telemetry.observe(
+                "fpt_lookup_ns", lookup_ns, scheme=self.name
+            )
         return result
 
     # ------------------------------------------------------------ batch path
@@ -181,6 +217,10 @@ class MitigationScheme(abc.ABC):
         result.lookup_outcome = outcome
         self.stats.busy_ns += result.busy_ns
         self.stats.stall_ns += result.stalled_ns
+        if self.telemetry.enabled:
+            self.telemetry.observe(
+                "fpt_lookup_ns", lookup_ns, scheme=self.name
+            )
         return result
 
     def table_dram_busy_ns(self) -> float:

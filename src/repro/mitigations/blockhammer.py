@@ -47,8 +47,9 @@ class Blockhammer(MitigationScheme):
         blacklist_threshold: int = 256,
         estimator: str = "exact",
         cbf_counters: int = 8192,
+        telemetry=None,
     ) -> None:
-        super().__init__()
+        super().__init__(telemetry)
         if blacklist_threshold < 1:
             raise ValueError("blacklist_threshold must be >= 1")
         if estimator not in _ESTIMATORS:
@@ -113,6 +114,12 @@ class Blockhammer(MitigationScheme):
             self._row_stall_ns[physical_row] = (
                 self._row_stall_ns.get(physical_row, 0.0) + stall
             )
+            if self.telemetry.enabled:
+                self.telemetry.event(
+                    "throttle", now_ns,
+                    scheme=self.name, row=physical_row, stall_ns=stall,
+                )
+                self.telemetry.inc("throttles_total", scheme=self.name)
         return AccessResult(physical_row=physical_row, stalled_ns=stall)
 
     def access_batch(self, logical_row: int, n: int, now_ns: float):
@@ -137,6 +144,15 @@ class Blockhammer(MitigationScheme):
             self._row_stall_ns[physical] = (
                 self._row_stall_ns.get(physical, 0.0) + stall
             )
+            if self.telemetry.enabled:
+                self.telemetry.event(
+                    "throttle", now_ns,
+                    scheme=self.name, row=physical, stall_ns=stall,
+                    batched=throttled,
+                )
+                self.telemetry.inc(
+                    "throttles_total", throttled, scheme=self.name
+                )
         result = AccessResult(
             physical_row=physical, lookup_ns=lookup_ns, stalled_ns=stall
         )
@@ -158,6 +174,21 @@ class Blockhammer(MitigationScheme):
         self.tracker.reset()
         self._next_allowed_ns.clear()
         self._row_stall_ns.clear()
+
+    def collect_metrics(self, telemetry) -> None:
+        """Snapshot-time export of throttling pressure."""
+        super().collect_metrics(telemetry)
+        registry = telemetry.registry
+        registry.counter("throttled_accesses_total").set_total(
+            self.throttled_accesses, scheme=self.name
+        )
+        registry.gauge("blacklisted_rows").set(
+            len(self._next_allowed_ns), scheme=self.name
+        )
+        registry.gauge("epoch_peak_row_stall_ns").set(
+            self.epoch_peak_row_stall_ns(), scheme=self.name
+        )
+        self.tracker.collect_metrics(telemetry, scheme=self.name)
 
     def worst_case_slowdown(self) -> float:
         """Analytical worst case (Sec. VII-B).

@@ -16,8 +16,10 @@ class NoMitigation(MitigationScheme):
 
     name = "baseline"
 
-    def __init__(self, total_rows: int = 2 * 1024 * 1024) -> None:
-        super().__init__()
+    def __init__(
+        self, total_rows: int = 2 * 1024 * 1024, telemetry=None
+    ) -> None:
+        super().__init__(telemetry)
         self.total_rows = total_rows
 
     @property

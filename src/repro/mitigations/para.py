@@ -51,8 +51,9 @@ class Para(MitigationScheme):
         timing: DDR4Timing = DDR4_2400,
         probability: Optional[float] = None,
         seed: int = 0xBA5E,
+        telemetry=None,
     ) -> None:
-        super().__init__()
+        super().__init__(telemetry)
         self.geometry = geometry
         self.timing = timing
         self.rowhammer_threshold = rowhammer_threshold

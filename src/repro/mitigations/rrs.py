@@ -24,6 +24,7 @@ from __future__ import annotations
 import random
 from typing import Dict, Optional, Tuple
 
+from repro.core.migration import MigrationCosts, publish_costs
 from repro.dram.data import RowDataStore
 from repro.dram.geometry import DramGeometry, DEFAULT_GEOMETRY
 from repro.dram.power import DramEnergyCounters
@@ -49,8 +50,9 @@ class RandomizedRowSwap(MitigationScheme):
         seed: int = 0x5EED_077,
         track_data: bool = True,
         tracker_entries_per_bank: Optional[int] = None,
+        telemetry=None,
     ) -> None:
-        super().__init__()
+        super().__init__(telemetry)
         if rowhammer_threshold < RRS_THRESHOLD_DIVISOR:
             raise ValueError(
                 f"Rowhammer threshold must be >= {RRS_THRESHOLD_DIVISOR}"
@@ -78,6 +80,15 @@ class RandomizedRowSwap(MitigationScheme):
         self._move_ns = timing.migration_ns(geometry.row_bytes)
         self.swaps = 0
         self.unswaps = 0
+        if self.telemetry.enabled:
+            self.tracker.attach_telemetry(
+                self.telemetry, lambda: self.now_ns
+            )
+            publish_costs(
+                self.telemetry,
+                MigrationCosts.for_row(geometry.row_bytes, timing),
+                scheme=self.name,
+            )
 
     # ------------------------------------------------------------ scheme API
 
@@ -101,7 +112,8 @@ class RandomizedRowSwap(MitigationScheme):
     ) -> AccessResult:
         busy = 0.0
         moves = []
-        if logical_row in self._partner:
+        reswap = logical_row in self._partner
+        if reswap:
             # Re-swap of an already-swapped row: the existing pair is
             # first restored (2 row moves) and the aggressor is then
             # re-swapped (2 more), the 4-migration cost of Sec. IV-F.
@@ -110,6 +122,17 @@ class RandomizedRowSwap(MitigationScheme):
             moves.extend((logical_row, old_partner))
         busy += self._swap_with_random(logical_row, moves)
         self.stats.migrations += 1
+        if self.telemetry.enabled:
+            reason = "reswap" if reswap else "swap"
+            self.telemetry.event(
+                "migration", now_ns,
+                scheme=self.name, row=logical_row,
+                dest=self._map.get(logical_row, logical_row),
+                reason=reason, busy_ns=busy,
+            )
+            self.telemetry.inc(
+                "migrations_total", scheme=self.name, reason=reason
+            )
         return AccessResult(
             physical_row=self._map.get(logical_row, logical_row),
             busy_ns=busy,
@@ -181,6 +204,21 @@ class RandomizedRowSwap(MitigationScheme):
             (self._physical_of(logical_row), self._physical_of(candidate))
         )
         return 2 * self._move_ns
+
+    def collect_metrics(self, telemetry) -> None:
+        """Snapshot-time export of RRS swap-pair state."""
+        super().collect_metrics(telemetry)
+        registry = telemetry.registry
+        registry.counter("rrs_swaps_total").set_total(
+            self.swaps, scheme=self.name
+        )
+        registry.counter("rrs_unswaps_total").set_total(
+            self.unswaps, scheme=self.name
+        )
+        registry.gauge("rrs_swapped_pairs").set(
+            len(self._partner) // 2, scheme=self.name
+        )
+        self.tracker.collect_metrics(telemetry, scheme=self.name)
 
     def sram_bytes(self) -> int:
         """SRAM for the RIT at this threshold (see analysis.storage)."""

@@ -37,8 +37,9 @@ class TargetRowRefresh(MitigationScheme):
         timing: DDR4Timing = DDR4_2400,
         sampler_entries: int = 4,
         refresh_burst: int = 64,
+        telemetry=None,
     ) -> None:
-        super().__init__()
+        super().__init__(telemetry)
         if sampler_entries < 1:
             raise ValueError("sampler_entries must be >= 1")
         if refresh_burst < 1:

@@ -40,8 +40,9 @@ class VictimRefresh(MitigationScheme):
         tracker_entries_per_bank: Optional[int] = None,
         mapper: Optional[AddressMapper] = None,
         knows_mapping: bool = True,
+        telemetry=None,
     ) -> None:
-        super().__init__()
+        super().__init__(telemetry)
         if blast_radius < 1:
             raise ValueError("blast_radius must be >= 1")
         self.geometry = geometry
@@ -89,6 +90,15 @@ class VictimRefresh(MitigationScheme):
             victims.extend(neighbor_fn(physical_row, distance))
         self.stats.victim_refreshes += len(victims)
         self.stats.migrations += 1
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "victim_refresh", now_ns,
+                scheme=self.name, aggressor=physical_row,
+                victims=list(victims),
+            )
+            self.telemetry.inc(
+                "victim_refreshes_total", len(victims), scheme=self.name
+            )
         # Each victim refresh is one row activation's worth of bank time.
         busy = len(victims) * self.timing.trc_ns
         return AccessResult(

@@ -24,19 +24,21 @@ from repro.workloads.spec import workload
 from repro.workloads.table2 import SPEC_NAMES
 
 
-SchemeFactory = Callable[[], MitigationScheme]
+SchemeFactory = Callable[..., MitigationScheme]
+"""Zero-argument builder; accepts an optional ``telemetry`` kwarg."""
 
 
 def aqua_sram(rowhammer_threshold: int = 1000, **kwargs) -> SchemeFactory:
     """Factory: AQUA with SRAM tables (Sec. IV)."""
 
-    def build() -> MitigationScheme:
+    def build(telemetry=None) -> MitigationScheme:
         return AquaMitigation(
             AquaConfig(
                 rowhammer_threshold=rowhammer_threshold,
                 table_mode="sram",
                 **kwargs,
-            )
+            ),
+            telemetry=telemetry,
         )
 
     return build
@@ -47,13 +49,14 @@ def aqua_memory_mapped(
 ) -> SchemeFactory:
     """Factory: AQUA with memory-mapped tables (Sec. V)."""
 
-    def build() -> MitigationScheme:
+    def build(telemetry=None) -> MitigationScheme:
         return AquaMitigation(
             AquaConfig(
                 rowhammer_threshold=rowhammer_threshold,
                 table_mode="memory-mapped",
                 **kwargs,
-            )
+            ),
+            telemetry=telemetry,
         )
 
     return build
@@ -62,9 +65,11 @@ def aqua_memory_mapped(
 def rrs(rowhammer_threshold: int = 1000, **kwargs) -> SchemeFactory:
     """Factory: Randomized Row-Swap at the given threshold."""
 
-    def build() -> MitigationScheme:
+    def build(telemetry=None) -> MitigationScheme:
         return RandomizedRowSwap(
-            rowhammer_threshold=rowhammer_threshold, **kwargs
+            rowhammer_threshold=rowhammer_threshold,
+            telemetry=telemetry,
+            **kwargs,
         )
 
     return build
@@ -73,8 +78,12 @@ def rrs(rowhammer_threshold: int = 1000, **kwargs) -> SchemeFactory:
 def blockhammer(rowhammer_threshold: int = 1000, **kwargs) -> SchemeFactory:
     """Factory: Blockhammer rate-limiting."""
 
-    def build() -> MitigationScheme:
-        return Blockhammer(rowhammer_threshold=rowhammer_threshold, **kwargs)
+    def build(telemetry=None) -> MitigationScheme:
+        return Blockhammer(
+            rowhammer_threshold=rowhammer_threshold,
+            telemetry=telemetry,
+            **kwargs,
+        )
 
     return build
 
@@ -82,9 +91,11 @@ def blockhammer(rowhammer_threshold: int = 1000, **kwargs) -> SchemeFactory:
 def victim_refresh(rowhammer_threshold: int = 1000, **kwargs) -> SchemeFactory:
     """Factory: classic victim refresh."""
 
-    def build() -> MitigationScheme:
+    def build(telemetry=None) -> MitigationScheme:
         return VictimRefresh(
-            rowhammer_threshold=rowhammer_threshold, **kwargs
+            rowhammer_threshold=rowhammer_threshold,
+            telemetry=telemetry,
+            **kwargs,
         )
 
     return build
@@ -104,10 +115,15 @@ def all_workloads(spec_only: bool = False) -> List:
 
 
 def run_workload(
-    factory: SchemeFactory, target, epochs: int = 2
+    factory: SchemeFactory, target, epochs: int = 2, telemetry=None
 ) -> WorkloadResult:
-    """Run one workload on a freshly built scheme."""
-    simulator = SystemSimulator(factory())
+    """Run one workload on a freshly built scheme.
+
+    ``telemetry`` is only forwarded when given, so factories that take
+    no arguments (benchmark lambdas) keep working untouched.
+    """
+    scheme = factory(telemetry=telemetry) if telemetry is not None else factory()
+    simulator = SystemSimulator(scheme)
     return simulator.run(target, epochs=epochs)
 
 
@@ -115,12 +131,20 @@ def run_suite(
     factory: SchemeFactory,
     workloads: Optional[List] = None,
     epochs: int = 2,
+    telemetry=None,
 ) -> Dict[str, WorkloadResult]:
-    """Run a scheme across a workload list (default: all 34)."""
+    """Run a scheme across a workload list (default: all 34).
+
+    When telemetered, every workload shares the one registry/trace
+    (events are distinguishable by their epoch-relative timestamps and
+    the per-epoch ``refresh_window`` markers' ``workload`` attribute).
+    """
     if workloads is None:
         workloads = all_workloads()
     return {
-        target.name: run_workload(factory, target, epochs=epochs)
+        target.name: run_workload(
+            factory, target, epochs=epochs, telemetry=telemetry
+        )
         for target in workloads
     }
 

@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
+
+from repro.telemetry import EpochSnapshot
 
 
 @dataclass
@@ -24,6 +26,9 @@ class WorkloadResult:
     mem_fraction: float
     lookup_breakdown: Optional[Dict[str, float]] = None
     extra: Dict[str, float] = field(default_factory=dict)
+    #: Per-epoch metric deltas (populated when the run is telemetered;
+    #: ``None`` for uninstrumented runs).
+    timeline: Optional[List[EpochSnapshot]] = None
 
     @property
     def migrations_per_epoch(self) -> float:
@@ -48,4 +53,67 @@ class WorkloadResult:
             f"{self.workload:>10s} [{self.scheme}] "
             f"slowdown={self.percent_slowdown:6.2f}% "
             f"migrations/epoch={self.migrations_per_epoch:9.1f}"
+        )
+
+    # --------------------------------------------------------- serialization
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict (inverse of :meth:`from_dict`)."""
+        return {
+            "workload": self.workload,
+            "scheme": self.scheme,
+            "epochs": self.epochs,
+            "activations": self.activations,
+            "migrations": self.migrations,
+            "row_moves": self.row_moves,
+            "evictions": self.evictions,
+            "busy_ns": self.busy_ns,
+            "table_dram_ns": self.table_dram_ns,
+            "peak_stall_ns": self.peak_stall_ns,
+            "slowdown": self.slowdown,
+            "mem_fraction": self.mem_fraction,
+            "lookup_breakdown": (
+                dict(self.lookup_breakdown)
+                if self.lookup_breakdown is not None
+                else None
+            ),
+            "extra": dict(self.extra),
+            "timeline": (
+                [snapshot.to_dict() for snapshot in self.timeline]
+                if self.timeline is not None
+                else None
+            ),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "WorkloadResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        lookup = data.get("lookup_breakdown")
+        timeline = data.get("timeline")
+        return WorkloadResult(
+            workload=data["workload"],
+            scheme=data["scheme"],
+            epochs=int(data["epochs"]),
+            activations=int(data["activations"]),
+            migrations=int(data["migrations"]),
+            row_moves=int(data["row_moves"]),
+            evictions=int(data["evictions"]),
+            busy_ns=float(data["busy_ns"]),
+            table_dram_ns=float(data["table_dram_ns"]),
+            peak_stall_ns=float(data["peak_stall_ns"]),
+            slowdown=float(data["slowdown"]),
+            mem_fraction=float(data["mem_fraction"]),
+            lookup_breakdown=(
+                {k: float(v) for k, v in lookup.items()}
+                if lookup is not None
+                else None
+            ),
+            extra={
+                k: float(v) for k, v in data.get("extra", {}).items()
+            },
+            timeline=(
+                [EpochSnapshot.from_dict(entry) for entry in timeline]
+                if timeline is not None
+                else None
+            ),
         )

@@ -22,6 +22,7 @@ from repro.dram.timing import DDR4Timing, DDR4_2400
 from repro.mitigations.base import MitigationScheme
 from repro.sim.cpu import slowdown_from_busy
 from repro.sim.stats import WorkloadResult
+from repro.telemetry import NULL_TELEMETRY
 
 
 class SystemSimulator:
@@ -35,9 +36,17 @@ class SystemSimulator:
         self,
         scheme: MitigationScheme,
         timing: DDR4Timing = DDR4_2400,
+        telemetry=None,
     ) -> None:
         self.scheme = scheme
         self.timing = timing
+        #: Defaults to the scheme's own sink, so building the scheme
+        #: with a Telemetry is all it takes to get epoch snapshots.
+        self.telemetry = (
+            telemetry
+            if telemetry is not None
+            else getattr(scheme, "telemetry", NULL_TELEMETRY)
+        )
 
     def run(self, workload, epochs: int = 2) -> WorkloadResult:
         """Simulate ``epochs`` refresh windows of ``workload``.
@@ -49,6 +58,11 @@ class SystemSimulator:
         if epochs < 1:
             raise ValueError("epochs must be >= 1")
         scheme = self.scheme
+        telemetry = self.telemetry
+        timeline_start = 0
+        if telemetry.enabled:
+            telemetry.add_collector(scheme.collect_metrics)
+            timeline_start = len(telemetry.timeline)
         epoch_ns = self.timing.trefw_ns
         total_acts = 0
         peak_stall = 0.0
@@ -66,6 +80,11 @@ class SystemSimulator:
                 access_batch(row, count, now)
                 now += count * dt
             peak_stall += self._epoch_peak_stall()
+            if telemetry.enabled:
+                telemetry.epoch_snapshot(
+                    epoch, ts_ns=(epoch + 1) * epoch_ns,
+                    workload=workload.name, **self._boundary_attrs()
+                )
         wall_ns = epochs * epoch_ns
         busy = scheme.stats.busy_ns
         table_dram = scheme.table_dram_busy_ns()
@@ -92,7 +111,20 @@ class SystemSimulator:
             mem_fraction=mem_fraction,
             lookup_breakdown=self._lookup_breakdown(),
             extra=self._extra_stats(),
+            timeline=(
+                list(self.telemetry.timeline[timeline_start:])
+                if self.telemetry.enabled
+                else None
+            ),
         )
+
+    def _boundary_attrs(self) -> dict:
+        """Structure-state attributes for epoch-boundary events."""
+        attrs = {}
+        rqa = getattr(self.scheme, "rqa", None)
+        if rqa is not None:
+            attrs["rqa_occupancy"] = rqa.occupancy()
+        return attrs
 
     def _extra_stats(self) -> dict:
         """Scheme-specific extras (e.g. spurious Misra-Gries installs)."""
@@ -101,6 +133,9 @@ class SystemSimulator:
         spurious = getattr(tracker, "spurious_installs", None)
         if spurious is not None:
             extra["spurious_installs"] = float(spurious)
+        rqa = getattr(self.scheme, "rqa", None)
+        if rqa is not None:
+            extra["rqa_allocations"] = float(rqa.allocations)
         return extra
 
     def _epoch_peak_stall(self) -> float:

@@ -12,6 +12,13 @@ from __future__ import annotations
 import abc
 from typing import Callable, Dict
 
+from repro.telemetry import NULL_TELEMETRY
+
+
+def _zero_clock() -> float:
+    """Default simulated-time source before telemetry is attached."""
+    return 0.0
+
 
 class AggressorTracker(abc.ABC):
     """Abstract aggressor-row tracker (the ART)."""
@@ -22,6 +29,30 @@ class AggressorTracker(abc.ABC):
         self.threshold = threshold
         self.observations = 0
         self.triggers = 0
+        self._telemetry = NULL_TELEMETRY
+        self._clock: Callable[[], float] = _zero_clock
+
+    def attach_telemetry(
+        self, telemetry, clock: Callable[[], float]
+    ) -> None:
+        """Wire the owning scheme's telemetry and simulated-time clock.
+
+        Trackers have no notion of time; ``clock`` returns the scheme's
+        last-seen access timestamp so install/evict events line up with
+        the rest of the trace.
+        """
+        self._telemetry = telemetry
+        self._clock = clock
+
+    def collect_metrics(self, telemetry, **labels) -> None:
+        """Snapshot-time export of the tracker's running statistics."""
+        registry = telemetry.registry
+        registry.counter("tracker_observations_total").set_total(
+            self.observations, **labels
+        )
+        registry.counter("tracker_triggers_total").set_total(
+            self.triggers, **labels
+        )
 
     @abc.abstractmethod
     def observe(self, row_id: int) -> bool:
@@ -78,6 +109,13 @@ class PerBankTracker(AggressorTracker):
         self._banks: Dict[int, AggressorTracker] = {
             bank: factory(threshold) for bank in range(num_banks)
         }
+
+    def attach_telemetry(
+        self, telemetry, clock: Callable[[], float]
+    ) -> None:
+        super().attach_telemetry(telemetry, clock)
+        for tracker in self._banks.values():
+            tracker.attach_telemetry(telemetry, clock)
 
     def observe(self, row_id: int) -> bool:
         self.observations += 1

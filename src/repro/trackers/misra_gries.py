@@ -114,6 +114,13 @@ class MisraGriesBank(AggressorTracker):
         crossings = self._crossings(base, count)
         if crossings > 0 and count >= self.threshold and base > 0:
             self.spurious_installs += crossings
+        if self._telemetry.enabled:
+            self._telemetry.event(
+                "tracker_install", self._clock(),
+                row=row_id, estimate=count, spill=base,
+                spurious=bool(crossings > 0 and base > 0),
+            )
+            self._telemetry.inc("tracker_installs_total")
         return crossings
 
     # -------------------------------------------------------------- interface
@@ -150,6 +157,13 @@ class MisraGriesBank(AggressorTracker):
                 victim = next(iter(self._buckets[self._min_count]))
                 self._bucket_remove(victim, self._min_count)
                 del self._counts[victim]
+                if self._telemetry.enabled:
+                    self._telemetry.event(
+                        "tracker_evict", self._clock(),
+                        row=victim, estimate=self._min_count,
+                        replaced_by=row_id,
+                    )
+                    self._telemetry.inc("tracker_evictions_total")
                 self._advance_min()
                 remaining = n - misses_until_install
                 crossings = self._install(
@@ -206,4 +220,13 @@ class MisraGriesTracker(PerBankTracker):
         return sum(
             bank.spurious_installs
             for bank in self._banks.values()
+        )
+
+    def collect_metrics(self, telemetry, **labels) -> None:
+        super().collect_metrics(telemetry, **labels)
+        telemetry.registry.counter(
+            "tracker_spurious_installs_total"
+        ).set_total(self.spurious_installs, **labels)
+        telemetry.registry.gauge("tracker_entries").set(
+            sum(len(bank) for bank in self._banks.values()), **labels
         )

@@ -22,6 +22,7 @@ workload and epoch) from within the band:
 
 from __future__ import annotations
 
+import zlib
 from typing import Optional
 
 import numpy as np
@@ -111,8 +112,11 @@ class SyntheticWorkload:
         return memory_boundness(self.spec.mpki)
 
     def _rng(self, epoch: int) -> np.random.Generator:
+        # crc32, not hash(): str hashing is salted per process, which
+        # would make "same seed, same trace" fail across runs.
+        name_hash = zlib.crc32(self.spec.name.encode("utf-8"))
         return np.random.default_rng(
-            (hash(self.spec.name) & 0xFFFF_FFFF) ^ (self.seed << 8) ^ epoch
+            name_hash ^ (self.seed << 8) ^ epoch
         )
 
     def _band_counts(

@@ -1,6 +1,5 @@
 """Scheduled controller: FR-FCFS over the full mitigation path."""
 
-import pytest
 
 from repro.controller.scheduled import ScheduledMemoryController
 from repro.core.aqua import AquaMitigation

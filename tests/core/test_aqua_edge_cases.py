@@ -1,6 +1,5 @@
 """AQUA edge cases beyond the main lifecycle tests."""
 
-import pytest
 
 from repro.core.aqua import AquaMitigation
 from repro.core.memtables import MemoryMappedTables

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.dram.address import AddressMapper
-from repro.dram.geometry import DramGeometry, DEFAULT_GEOMETRY
+from repro.dram.geometry import DEFAULT_GEOMETRY
 
 
 @pytest.fixture

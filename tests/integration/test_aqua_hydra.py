@@ -5,7 +5,6 @@ SRAM for hybrid SRAM/DRAM counters.  The quarantine behaviour must be
 identical in kind: hammered rows still migrate before T_RH.
 """
 
-import pytest
 
 from repro.attacks import patterns
 from repro.attacks.adversary import AttackHarness

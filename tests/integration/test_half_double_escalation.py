@@ -11,7 +11,6 @@ the inner rows finishes the job.  Migration (AQUA) is immune because
 it removes the aggressor from the neighbourhood entirely.
 """
 
-import pytest
 
 from repro.attacks import patterns
 from repro.attacks.adversary import AttackHarness

@@ -7,7 +7,6 @@ alarm, migrations per epoch stay flat, and the mapping stays
 consistent throughout.
 """
 
-import pytest
 
 from repro.core.aqua import AquaMitigation
 from repro.dram.refresh import EPOCH_NS

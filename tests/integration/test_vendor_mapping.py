@@ -6,9 +6,6 @@ from controller-visible addresses refreshes the wrong rows and the
 attack succeeds; AQUA never consults adjacency and is unaffected.
 """
 
-import pytest
-
-from repro.attacks import patterns
 from repro.attacks.adversary import AttackHarness
 from repro.core.aqua import AquaMitigation
 from repro.dram.address import AddressMapper

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.dram.geometry import DramGeometry
 from repro.mitigations.rrs import RRS_THRESHOLD_DIVISOR, RandomizedRowSwap
 
 from tests.conftest import SMALL_GEOMETRY, at_epoch

@@ -13,7 +13,7 @@ import hypothesis.strategies as st
 from hypothesis import given, settings
 
 from repro.core.aqua import AquaMitigation
-from repro.core.memtables import MemoryMappedTables, SramTables
+from repro.core.memtables import SramTables
 from repro.dram.refresh import EPOCH_NS
 
 from tests.conftest import make_aqua_config

@@ -1,0 +1,99 @@
+"""Telemetry facade: null object, collectors, epoch snapshots."""
+
+import json
+
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    EpochSnapshot,
+    NullTelemetry,
+    Telemetry,
+)
+
+
+class TestNullTelemetry:
+    def test_disabled_and_shared(self):
+        assert NULL_TELEMETRY.enabled is False
+        assert isinstance(NULL_TELEMETRY, NullTelemetry)
+        # __slots__ = (): the null object carries no per-instance state.
+        assert not hasattr(NULL_TELEMETRY, "__dict__")
+
+    def test_every_method_is_a_noop(self):
+        assert NULL_TELEMETRY.event("migration", 1.0, row=3) is False
+        NULL_TELEMETRY.inc("x")
+        NULL_TELEMETRY.set_gauge("x", 1.0)
+        NULL_TELEMETRY.observe("x", 1.0)
+        NULL_TELEMETRY.add_collector(lambda t: None)
+        NULL_TELEMETRY.collect()
+        assert NULL_TELEMETRY.epoch_snapshot(0, 1.0) is None
+        assert NULL_TELEMETRY.timeline == ()
+
+
+class TestTelemetry:
+    def test_recording_helpers_hit_registry_and_tracer(self):
+        telemetry = Telemetry()
+        assert telemetry.enabled is True
+        telemetry.inc("migrations_total", scheme="aqua")
+        telemetry.set_gauge("occupancy", 5.0)
+        telemetry.observe("lat", 3.0)
+        assert telemetry.event("migration", 10.0, row=1) is True
+        snapshot = telemetry.registry.snapshot()
+        assert snapshot["migrations_total{scheme=aqua}"] == 1.0
+        assert snapshot["occupancy"] == 5.0
+        assert telemetry.tracer.kind_counts() == {"migration": 1}
+
+    def test_collectors_run_at_snapshot_time_idempotent_add(self):
+        telemetry = Telemetry()
+        calls = []
+
+        def collector(sink):
+            calls.append(sink)
+            sink.registry.counter("collected_total").set_total(7.0)
+
+        telemetry.add_collector(collector)
+        telemetry.add_collector(collector)  # registered once
+        telemetry.collect()
+        assert calls == [telemetry]
+        assert telemetry.registry.snapshot()["collected_total"] == 7.0
+
+    def test_epoch_snapshot_diffs_since_last_boundary(self):
+        telemetry = Telemetry()
+        telemetry.inc("migrations_total", 5.0)
+        first = telemetry.epoch_snapshot(0, ts_ns=64.0, rqa_occupancy=5)
+        assert first.deltas == {"migrations_total": 5.0}
+        telemetry.inc("migrations_total", 2.0)
+        second = telemetry.epoch_snapshot(1, ts_ns=128.0)
+        assert second.deltas == {"migrations_total": 2.0}
+        # Unchanged series are elided from the deltas entirely.
+        third = telemetry.epoch_snapshot(2, ts_ns=192.0)
+        assert third.deltas == {}
+        assert telemetry.timeline == [first, second, third]
+
+    def test_epoch_snapshot_emits_boundary_event_with_attrs(self):
+        telemetry = Telemetry()
+        telemetry.epoch_snapshot(3, ts_ns=256.0, rqa_occupancy=17)
+        (event,) = telemetry.tracer.events()
+        assert event.kind == "refresh_window"
+        assert event.ts_ns == 256.0
+        assert event.attrs == {"epoch": 3, "rqa_occupancy": 17}
+
+    def test_reset_clears_everything(self):
+        telemetry = Telemetry()
+        telemetry.inc("x")
+        telemetry.event("migration", 1.0)
+        telemetry.epoch_snapshot(0, ts_ns=1.0)
+        telemetry.reset()
+        assert telemetry.registry.snapshot() == {}
+        assert telemetry.tracer.events() == []
+        assert telemetry.timeline == []
+        # Baselines cleared too: the next delta starts from zero.
+        telemetry.inc("x", 4.0)
+        assert telemetry.epoch_snapshot(0, ts_ns=2.0).deltas == {"x": 4.0}
+
+
+class TestEpochSnapshotSerialization:
+    def test_round_trips_through_json(self):
+        snapshot = EpochSnapshot(
+            epoch=2, ts_ns=128e6, deltas={"migrations_total": 9.0}
+        )
+        payload = json.loads(json.dumps(snapshot.to_dict()))
+        assert EpochSnapshot.from_dict(payload) == snapshot

@@ -39,6 +39,97 @@ class TestSweep:
         assert main(["sweep", "--workloads", "doom"]) == 2
         assert "unknown" in capsys.readouterr().out
 
+    def test_zero_epochs_is_a_clean_parser_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--epochs", "0"])
+        assert excinfo.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_negative_epochs_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--epochs", "-3"])
+        assert excinfo.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_non_integer_epochs_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--epochs", "two"])
+        assert excinfo.value.code == 2
+        assert "not an integer" in capsys.readouterr().err
+
+    def test_seed_changes_the_generated_trace(self, capsys):
+        base = ["sweep", "--scheme", "aqua-sram", "--workloads", "gcc",
+                "--epochs", "1"]
+        assert main(base + ["--seed", "1"]) == 0
+        first = capsys.readouterr().out
+        assert main(base + ["--seed", "2"]) == 0
+        second = capsys.readouterr().out
+        assert first != second
+
+    def test_metrics_flag_prints_table(self, capsys):
+        code = main(
+            ["sweep", "--scheme", "aqua-sram", "--workloads", "xz",
+             "--epochs", "1", "--metrics"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "metrics [xz]:" in out
+        assert "scheme_accesses_total{scheme=aqua}" in out
+
+    def test_invalid_sample_rate_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--trace", "x.jsonl", "--trace-sample", "0"])
+        assert excinfo.value.code == 2
+
+
+class TestTraceAndInspect:
+    def test_jsonl_trace_round_trips_through_inspect(
+        self, tmp_path, capsys
+    ):
+        trace = str(tmp_path / "out.jsonl")
+        code = main(
+            ["sweep", "--scheme", "aqua-sram", "--workloads", "gcc",
+             "--epochs", "1", "--trace", trace]
+        )
+        assert code == 0
+        wrote = capsys.readouterr().out
+        assert "wrote" in wrote
+        assert main(["inspect", trace]) == 0
+        out = capsys.readouterr().out
+        assert "migration" in out
+        assert "quarantine occupancy" in out
+        assert "gcc" in out
+
+    def test_chrome_trace_round_trips_through_inspect(
+        self, tmp_path, capsys
+    ):
+        trace = str(tmp_path / "out.json")
+        code = main(
+            ["sweep", "--scheme", "aqua-sram", "--workloads", "gcc",
+             "--epochs", "1", "--trace", trace,
+             "--trace-format", "chrome"]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["inspect", trace]) == 0
+        assert "refresh_window" in capsys.readouterr().out
+
+    def test_inspect_missing_file(self, capsys):
+        assert main(["inspect", "/nonexistent/trace.jsonl"]) == 2
+        assert "cannot read" in capsys.readouterr().out
+
+    def test_inspect_malformed_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n{]\n")
+        assert main(["inspect", str(bad)]) == 2
+        assert "malformed" in capsys.readouterr().out
+
+    def test_inspect_empty_trace(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["inspect", str(empty)]) == 2
+        assert "no events" in capsys.readouterr().out
+
 
 class TestAttack:
     def test_half_double_vs_aqua_mitigated(self, capsys):

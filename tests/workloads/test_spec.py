@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.workloads.spec import SyntheticWorkload, workload
+from repro.workloads.spec import workload
 from repro.workloads.table2 import TABLE_II
 
 
