@@ -39,6 +39,14 @@ from repro.core.aqua import AquaMitigation
 from repro.core.config import AquaConfig
 from repro.core.quarantine import RqaExhaustedError
 from repro.core.sizing import rqa_rows, table_iii
+from repro.errors import (
+    ConfigError,
+    FaultExhaustedError,
+    ReproError,
+    RunTimeoutError,
+    SimulationError,
+)
+from repro.faults import FaultInjector
 from repro.mitigations import (
     Blockhammer,
     CrowModel,
@@ -54,7 +62,13 @@ __version__ = "1.0.0"
 __all__ = [
     "AquaMitigation",
     "AquaConfig",
+    "ConfigError",
+    "FaultExhaustedError",
+    "FaultInjector",
+    "ReproError",
     "RqaExhaustedError",
+    "RunTimeoutError",
+    "SimulationError",
     "rqa_rows",
     "table_iii",
     "Blockhammer",

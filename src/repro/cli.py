@@ -6,6 +6,9 @@ Subcommands::
     python -m repro storage --trh 1000            # Table VII-style SRAM
     python -m repro sweep   --scheme aqua-mm --workloads lbm gcc
     python -m repro sweep   --trace out.jsonl --metrics --seed 7
+    python -m repro sweep   --checkpoint ckpt.jsonl   # crash-safe journal
+    python -m repro sweep   --resume ckpt.jsonl       # skip finished runs
+    python -m repro chaos   --seed 7 --fault-rate 1e-3
     python -m repro attack  --scheme aqua --pattern half-double
     python -m repro inspect out.jsonl             # summarize a trace
 
@@ -24,12 +27,14 @@ from repro.core.aqua import AquaMitigation
 from repro.core.config import AquaConfig
 from repro.core.sizing import RqaSizing
 from repro.dram.geometry import DramGeometry
+from repro.errors import ConfigError
+from repro.faults import FaultInjector
 from repro.mitigations.victim_refresh import VictimRefresh
 from repro.sim import runner
-from repro.sim.system import SystemSimulator
+from repro.sim.checkpoint import SweepCheckpoint
 from repro.telemetry import (
     Telemetry,
-    load_trace,
+    load_trace_lenient,
     render_summary,
     summarize_trace,
     write_chrome_trace,
@@ -110,6 +115,33 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="keep this fraction of events (default 1.0)")
     sweep.add_argument("--metrics", action="store_true",
                        help="print the per-workload metrics table")
+    sweep.add_argument("--checkpoint", metavar="PATH", default=None,
+                       help="journal completed runs to PATH (crash-safe)")
+    sweep.add_argument("--resume", metavar="PATH", default=None,
+                       help="resume from a checkpoint, skipping "
+                            "finished runs (implies --checkpoint PATH)")
+    sweep.add_argument("--timeout", type=float, default=0.0, metavar="SEC",
+                       help="per-run wall-clock timeout in seconds "
+                            "(0 = unbounded)")
+    sweep.add_argument("--retries", type=int, default=0, metavar="N",
+                       help="retries for transient failures (timeouts)")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the scheme suite under deterministic fault injection",
+    )
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="fault-schedule seed (default 7)")
+    chaos.add_argument("--fault-rate", type=float, default=1e-3,
+                       metavar="RATE",
+                       help="per-check fire probability for every fault "
+                            "site (default 1e-3)")
+    chaos.add_argument("--trh", type=int, default=1000)
+    chaos.add_argument("--epochs", type=_positive_int, default=2)
+    chaos.add_argument("--workloads", nargs="*", default=["lbm", "gcc", "xz"],
+                       metavar="NAME", help=f"choose from {SPEC_NAMES}")
+    chaos.add_argument("--trace", metavar="PATH", default=None,
+                       help="write the (fault-event-bearing) trace to PATH")
 
     attack = sub.add_parser("attack", help="run an attack experiment")
     attack.add_argument("--scheme", choices=["aqua", "victim-refresh"],
@@ -161,35 +193,80 @@ def _cmd_sweep(args) -> int:
         return 2
     factory = SCHEME_FACTORIES[args.scheme](args.trh)
     instrumented = bool(args.trace or args.metrics)
+    checkpoint = None
+    meta = {
+        "scheme": args.scheme,
+        "trh": args.trh,
+        "epochs": args.epochs,
+        "seed": args.seed,
+    }
+    if args.resume:
+        try:
+            checkpoint = SweepCheckpoint.resume(args.resume, meta)
+        except ConfigError as exc:
+            print(f"error: cannot resume: {exc}")
+            return 2
+        if checkpoint.skipped_lines:
+            print(
+                f"warning: checkpoint had {checkpoint.skipped_lines} "
+                "unreadable line(s) (crash artifact); re-running those runs"
+            )
+    elif args.checkpoint:
+        checkpoint = SweepCheckpoint.create(args.checkpoint, meta)
     print(f"{args.scheme} @ T_RH={args.trh}, {args.epochs} epoch(s):")
     tagged_events = []
-    for name in args.workloads:
-        telemetry = (
-            Telemetry(sample_rate=args.trace_sample) if instrumented else None
-        )
-        scheme = (
-            factory(telemetry=telemetry) if telemetry is not None else factory()
-        )
-        result = SystemSimulator(scheme).run(
-            workload(name, seed=args.seed), epochs=args.epochs
-        )
-        print(f"  {result.summary()}")
-        if telemetry is None:
-            continue
-        if args.metrics:
-            print(f"  metrics [{name}]:")
-            print(telemetry.metrics_table())
-        if args.trace:
-            tag = {"workload": name}
-            tagged_events.extend(
-                (event, tag) for event in telemetry.tracer.events()
+    failures = []
+    try:
+        for name in args.workloads:
+            if checkpoint is not None and checkpoint.has(args.scheme, name):
+                result = checkpoint.completed[(args.scheme, name)]
+                print(f"  {result.summary()} (resumed)")
+                continue
+            telemetry = (
+                Telemetry(sample_rate=args.trace_sample)
+                if instrumented
+                else None
             )
-            if telemetry.tracer.dropped:
-                print(
-                    f"  warning: {name} trace dropped "
-                    f"{telemetry.tracer.dropped:,} events "
-                    "(ring buffer wrapped)"
+            try:
+                result = runner.run_hardened(
+                    factory,
+                    workload(name, seed=args.seed),
+                    epochs=args.epochs,
+                    telemetry=telemetry,
+                    timeout_s=args.timeout,
+                    retries=args.retries,
                 )
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                failures.append((name, f"{type(exc).__name__}: {exc}"))
+                print(
+                    f"  {name:>10s} [{args.scheme}] "
+                    f"FAILED: {type(exc).__name__}: {exc}"
+                )
+                continue
+            print(f"  {result.summary()}")
+            if checkpoint is not None:
+                checkpoint.record(args.scheme, name, result)
+            if telemetry is None:
+                continue
+            if args.metrics:
+                print(f"  metrics [{name}]:")
+                print(telemetry.metrics_table())
+            if args.trace:
+                tag = {"workload": name}
+                tagged_events.extend(
+                    (event, tag) for event in telemetry.tracer.events()
+                )
+                if telemetry.tracer.dropped:
+                    print(
+                        f"  warning: {name} trace dropped "
+                        f"{telemetry.tracer.dropped:,} events "
+                        "(ring buffer wrapped)"
+                    )
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
     if args.trace:
         writer = (
             write_chrome_trace
@@ -198,20 +275,104 @@ def _cmd_sweep(args) -> int:
         )
         count = writer(args.trace, tagged_events)
         print(f"wrote {count:,} events to {args.trace}")
+    if failures:
+        print(f"{len(failures)} of {len(args.workloads)} run(s) failed:")
+        for name, error in failures:
+            print(f"  {name}: {error}")
+        return 1
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    unknown = [n for n in args.workloads if n not in SPEC_NAMES]
+    if unknown:
+        print(f"error: unknown workloads {unknown}; choose from {SPEC_NAMES}")
+        return 2
+    # AQUA schemes opt into the throttle degradation so injected RQA
+    # exhaustion degrades instead of raising; other schemes have no
+    # RQA and need no policy.
+    factories = {
+        "aqua-sram": runner.aqua_sram(args.trh, rqa_full_policy="throttle"),
+        "aqua-mm": runner.aqua_memory_mapped(
+            args.trh, rqa_full_policy="throttle"
+        ),
+        "rrs": runner.rrs(args.trh),
+        "blockhammer": runner.blockhammer(args.trh),
+        "victim-refresh": runner.victim_refresh(args.trh),
+    }
+    telemetry = Telemetry() if args.trace else None
+    injectors = {}
+
+    def injector_factory(scheme: str, name: str) -> FaultInjector:
+        injector = FaultInjector(
+            seed=args.seed,
+            fault_rate=args.fault_rate,
+            scope=f"{scheme}/{name}",
+            telemetry=telemetry,
+        )
+        injectors[(scheme, name)] = injector
+        return injector
+
+    targets = [workload(name, seed=args.seed) for name in args.workloads]
+    print(
+        f"chaos @ seed={args.seed} fault_rate={args.fault_rate:g}, "
+        f"T_RH={args.trh}, {args.epochs} epoch(s), "
+        f"{len(factories)} scheme(s) x {len(targets)} workload(s):"
+    )
+    report = runner.run_sweep(
+        factories,
+        workloads=targets,
+        epochs=args.epochs,
+        telemetry=telemetry,
+        injector_factory=injector_factory,
+    )
+    degraded = 0
+    broke = {failure.scheme + "/" + failure.workload: failure
+             for failure in report.failures}
+    for scheme in factories:
+        for target in targets:
+            key = f"{scheme}/{target.name}"
+            injector = injectors.get((scheme, target.name))
+            summary = injector.summary() if injector is not None else "none"
+            digest = (
+                injector.schedule_digest() if injector is not None else "-"
+            )
+            if key in broke:
+                print(f"  {key:>24s}: BROKE ({broke[key].error}); "
+                      f"faults: {summary}")
+                continue
+            status = "ok"
+            if injector is not None and sum(injector.counts().values()):
+                degraded += 1
+                status = "degraded"
+            print(f"  {key:>24s}: {status}; faults: {summary} "
+                  f"[digest {digest}]")
+    print(
+        f"chaos result: {len(report.results)} completed "
+        f"({degraded} degraded gracefully), {len(broke)} broke"
+    )
+    if args.trace:
+        count = write_jsonl(
+            args.trace,
+            [(event, None) for event in telemetry.tracer.events()],
+        )
+        print(f"wrote {count:,} events to {args.trace}")
+    return 1 if broke else 0
 
 
 def _cmd_inspect(args) -> int:
     try:
-        records = load_trace(args.trace)
+        records, skipped = load_trace_lenient(args.trace)
     except OSError as exc:
         print(f"error: cannot read trace: {exc}")
         return 2
-    except ValueError as exc:
-        print(f"error: malformed trace: {exc}")
-        return 2
+    if skipped:
+        print(
+            f"warning: skipped {skipped} corrupt line(s) "
+            f"({len(records)} valid events parsed)"
+        )
     if not records:
-        print("error: trace contains no events")
+        print("error: trace contains no parseable events")
         return 2
     print(render_summary(summarize_trace(records)))
     return 0
@@ -279,6 +440,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sizing": _cmd_sizing,
         "storage": _cmd_storage,
         "sweep": _cmd_sweep,
+        "chaos": _cmd_chaos,
         "attack": _cmd_attack,
         "inspect": _cmd_inspect,
     }

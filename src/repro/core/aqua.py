@@ -32,9 +32,10 @@ from repro.core.memtables import (
     SramTables,
     TableBackend,
 )
-from repro.core.quarantine import RowQuarantineArea
+from repro.core.quarantine import RowQuarantineArea, RqaExhaustedError
 from repro.dram.data import RowDataStore
 from repro.dram.power import DramEnergyCounters
+from repro.errors import FaultExhaustedError
 from repro.mitigations.base import AccessResult, MitigationScheme
 from repro.trackers import (
     AggressorTracker,
@@ -66,7 +67,10 @@ class AquaMitigation(MitigationScheme):
     name = "aqua"
 
     def __init__(
-        self, config: Optional[AquaConfig] = None, telemetry=None
+        self,
+        config: Optional[AquaConfig] = None,
+        telemetry=None,
+        fault_injector=None,
     ) -> None:
         super().__init__(telemetry)
         self.config = config if config is not None else AquaConfig()
@@ -100,8 +104,24 @@ class AquaMitigation(MitigationScheme):
         #: in-DRAM tables (avoids recursive lookups, Sec. VI-B).
         self._pinned_fpt: Dict[int, int] = {}
         self._migration_ns = cfg.timing.migration_ns(cfg.geometry.row_bytes)
+        self._costs = MigrationCosts.for_row(cfg.geometry.row_bytes, cfg.timing)
         self.internal_migrations = 0
         self.table_row_quarantines = 0
+        #: Degradation bookkeeping (DESIGN.md §8): rows the scheme could
+        #: not quarantine and rate-limited instead, interrupted-transfer
+        #: retries, and migrations abandoned after the retry budget.
+        self.throttle_fallbacks = 0
+        self.migration_retries = 0
+        self.aborted_migrations = 0
+        #: Blockhammer-style spacing for the throttle fallback: a row
+        #: limited to one ACT per interval cannot reach the effective
+        #: threshold within the refresh window.
+        self._throttle_interval_ns = (
+            cfg.timing.trefw_ns / cfg.effective_threshold
+        )
+        self._row_stall_ns: Dict[int, float] = {}
+        if fault_injector is not None:
+            self.attach_faults(fault_injector)
         if self.telemetry.enabled:
             self.tracker.attach_telemetry(
                 self.telemetry, lambda: self.now_ns
@@ -111,6 +131,15 @@ class AquaMitigation(MitigationScheme):
                 MigrationCosts.for_row(cfg.geometry.row_bytes, cfg.timing),
                 scheme=self.name,
             )
+
+    def attach_faults(self, injector) -> None:
+        """Thread the injector into the structures with their own sites."""
+        super().attach_faults(injector)
+        if isinstance(self.tables, MemoryMappedTables):
+            # SRAM tables have no cache to fault; only the Sec. V
+            # filter chain carries the fpt_cache_* sites.
+            self.tables.faults = self.faults
+            self.tables.clock = lambda: self.now_ns
 
     # ------------------------------------------------------------ scheme API
 
@@ -163,18 +192,126 @@ class AquaMitigation(MitigationScheme):
         super()._end_epoch(new_epoch)
         # The ART resets every epoch; the FPT/RPT drain lazily (Sec. IV-A).
         self.tracker.reset()
+        self._row_stall_ns.clear()
+
+    def epoch_peak_row_stall_ns(self) -> float:
+        """Largest cumulative throttle stall any row saw this epoch.
+
+        Mirrors Blockhammer's fairness probe so the simulator's
+        per-epoch slowdown accounting sees the degraded path too.
+        """
+        return max(self._row_stall_ns.values(), default=0.0)
 
     # -------------------------------------------------------------- internals
+
+    def _throttle_fallback(
+        self,
+        logical_row: int,
+        physical_row: int,
+        now_ns: float,
+        reason: str,
+        busy_ns: float = 0.0,
+    ) -> AccessResult:
+        """Degrade a failed quarantine to Blockhammer-style throttling.
+
+        The row stays where it is (no mapping was touched) and the
+        access is stalled by one safe inter-activation interval, so the
+        row cannot reach the Rowhammer threshold while the RQA is
+        unavailable -- mitigation by rate limiting instead of by
+        migration (the canonical fallback; DESIGN.md §8).
+        """
+        self.throttle_fallbacks += 1
+        stall = self._throttle_interval_ns
+        self._row_stall_ns[physical_row] = (
+            self._row_stall_ns.get(physical_row, 0.0) + stall
+        )
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "throttle", now_ns,
+                scheme=self.name, row=physical_row, stall_ns=stall,
+                reason=reason,
+            )
+            self.telemetry.inc(
+                "throttles_total", scheme=self.name, reason=reason
+            )
+        return AccessResult(
+            physical_row=physical_row, busy_ns=busy_ns, stalled_ns=stall
+        )
+
+    def _interrupted_transfer_ns(
+        self, logical_row: int, now_ns: float
+    ) -> Optional[float]:
+        """Run the ``migration_interrupt`` fault site for one migration.
+
+        Returns the wasted-channel-time penalty of the interrupted
+        attempts when a retry eventually succeeds, or ``None`` when the
+        retry budget is exhausted and the caller must fall back to
+        throttling (or fail, per ``rqa_full_policy``).  Interruptions
+        abort the destination write before the mapping tables are
+        updated, so every outcome leaves the row fully at its source:
+        rollback-or-complete, never a half-migrated mapping.
+        """
+        faults = self.faults
+        budget = self.config.migration_max_retries
+        penalty = 0.0
+        attempt = 0
+        while faults.inject(
+            "migration_interrupt", ts_ns=now_ns,
+            scheme=self.name, row=logical_row, attempt=attempt,
+        ):
+            attempt += 1
+            self.migration_retries += 1
+            penalty += self._costs.interrupted_attempt_ns(attempt)
+            if attempt > budget:
+                self.aborted_migrations += 1
+                if self.telemetry.enabled:
+                    self.telemetry.inc(
+                        "aborted_migrations_total", scheme=self.name
+                    )
+                return None
+        return penalty
 
     def _quarantine(
         self, logical_row: int, physical_row: int, now_ns: float
     ) -> AccessResult:
         """Move ``logical_row`` (currently at ``physical_row``) into the RQA."""
         busy = 0.0
+        if self.faults.enabled:
+            if self.faults.inject(
+                "rqa_forced_full", ts_ns=now_ns,
+                scheme=self.name, row=logical_row,
+            ):
+                # Injected slot exhaustion (a DoS-pressure RQA): the
+                # quarantine cannot land, so rate-limit the row instead.
+                return self._throttle_fallback(
+                    logical_row, physical_row, now_ns, reason="rqa-full"
+                )
+            penalty = self._interrupted_transfer_ns(logical_row, now_ns)
+            if penalty is None:
+                if self.config.rqa_full_policy == "fail":
+                    raise FaultExhaustedError(
+                        f"migration of row {logical_row} interrupted more "
+                        f"than migration_max_retries="
+                        f"{self.config.migration_max_retries} times"
+                    )
+                return self._throttle_fallback(
+                    logical_row, physical_row, now_ns,
+                    reason="migration-aborted",
+                    busy_ns=self._costs.interrupted_attempt_ns(1),
+                )
+            busy += penalty
         extra_acts = []
         evicted = False
         telemetry = self.telemetry
-        allocation = self.rqa.allocate(logical_row, self.current_epoch)
+        try:
+            allocation = self.rqa.allocate(logical_row, self.current_epoch)
+        except RqaExhaustedError:
+            if self.config.rqa_full_policy == "fail":
+                raise
+            return self._throttle_fallback(
+                logical_row, physical_row, now_ns,
+                reason="rqa-exhausted", busy_ns=busy,
+            )
         dest_physical = self.rqa_base + allocation.slot
         if (
             allocation.evicted_row is not None
@@ -261,7 +398,17 @@ class AquaMitigation(MitigationScheme):
         """Move a hammered table row into the RQA (Sec. VI-B integrity)."""
         telemetry = self.telemetry
         physical = self._pinned_fpt.get(table_row, table_row)
-        allocation = self.rqa.allocate(table_row, self.current_epoch)
+        try:
+            allocation = self.rqa.allocate(table_row, self.current_epoch)
+        except RqaExhaustedError:
+            if self.config.rqa_full_policy == "fail":
+                raise
+            # Degraded path: the table row stays put and is rate-limited
+            # like any other unquarantinable row.
+            self._throttle_fallback(
+                table_row, physical, self.now_ns, reason="rqa-exhausted"
+            )
+            return
         dest_physical = self.rqa_base + allocation.slot
         if allocation.evicted_row is not None:
             stale = allocation.evicted_row
@@ -377,6 +524,20 @@ class AquaMitigation(MitigationScheme):
         registry.counter("table_row_quarantines_total").set_total(
             self.table_row_quarantines, scheme=scheme
         )
+        if self.faults.enabled or self.config.rqa_full_policy != "fail":
+            registry.counter("throttle_fallbacks_total").set_total(
+                self.throttle_fallbacks, scheme=scheme
+            )
+            registry.counter("migration_retries_total").set_total(
+                self.migration_retries, scheme=scheme
+            )
+            registry.counter("aborted_migrations_total").set_total(
+                self.aborted_migrations, scheme=scheme
+            )
+            if isinstance(self.tables, MemoryMappedTables):
+                registry.counter("fpt_cache_forced_misses_total").set_total(
+                    self.tables.forced_misses, scheme=scheme
+                )
         self.tracker.collect_metrics(telemetry, scheme=scheme)
         if isinstance(self.tables, MemoryMappedTables):
             self.tables.cache.collect_metrics(telemetry, scheme=scheme)

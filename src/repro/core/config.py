@@ -17,10 +17,12 @@ from repro.core.rpt import ReversePointerTable
 from repro.core.sizing import rqa_rows
 from repro.dram.geometry import DramGeometry, DEFAULT_GEOMETRY
 from repro.dram.timing import DDR4Timing, DDR4_2400
+from repro.errors import ConfigError
 
 
 TABLE_MODES = ("sram", "memory-mapped")
 TRACKERS = ("misra-gries", "hydra", "exact")
+RQA_FULL_POLICIES = ("fail", "throttle")
 
 
 @dataclass
@@ -43,16 +45,79 @@ class AquaConfig:
     tracker_entries_per_bank: Optional[int] = None
     track_data: bool = True
     """Maintain the row-content store to verify migrations move data."""
+    rqa_full_policy: str = "fail"
+    """What a *genuine* RQA exhaustion does (DESIGN.md §8).
+
+    ``"fail"`` raises :class:`~repro.core.quarantine.RqaExhaustedError`
+    (the Equation-3 security alarm, the paper's reading); ``"throttle"``
+    degrades to Blockhammer-style rate limiting of the triggering row,
+    the documented fallback for chaos/DoS-pressure runs."""
+    migration_max_retries: int = 3
+    """Interrupted-migration retry budget before the scheme gives up on
+    the quarantine and falls back to throttling the row."""
 
     def __post_init__(self) -> None:
+        # Validate every bound here, with the field name and allowed
+        # range in the message, so a bad parameter fails at construction
+        # instead of deep inside _build_tracker or Equation-3 sizing.
         if self.rowhammer_threshold < 2:
-            raise ValueError("Rowhammer threshold must be >= 2")
+            raise ConfigError(
+                "rowhammer_threshold must be >= 2 "
+                f"(got {self.rowhammer_threshold})"
+            )
         if self.table_mode not in TABLE_MODES:
-            raise ValueError(
-                f"table_mode {self.table_mode!r} not in {TABLE_MODES}"
+            raise ConfigError(
+                f"table_mode must be one of {TABLE_MODES} "
+                f"(got {self.table_mode!r})"
             )
         if self.tracker not in TRACKERS:
-            raise ValueError(f"tracker {self.tracker!r} not in {TRACKERS}")
+            raise ConfigError(
+                f"tracker must be one of {TRACKERS} (got {self.tracker!r})"
+            )
+        if self.rqa_slots is not None and self.rqa_slots < 1:
+            raise ConfigError(
+                f"rqa_slots must be >= 1 or None (got {self.rqa_slots})"
+            )
+        if self.fpt_capacity is not None and self.fpt_capacity < 1:
+            raise ConfigError(
+                f"fpt_capacity must be >= 1 or None (got {self.fpt_capacity})"
+            )
+        if self.bloom_group_size < 1:
+            raise ConfigError(
+                f"bloom_group_size must be >= 1 (got {self.bloom_group_size})"
+            )
+        if self.fpt_cache_entries < 16 or self.fpt_cache_entries % 16 != 0:
+            raise ConfigError(
+                "fpt_cache_entries must be a positive multiple of 16 "
+                f"ways (got {self.fpt_cache_entries})"
+            )
+        if (
+            self.tracker_entries_per_bank is not None
+            and self.tracker_entries_per_bank < 1
+        ):
+            raise ConfigError(
+                "tracker_entries_per_bank must be >= 1 or None "
+                f"(got {self.tracker_entries_per_bank})"
+            )
+        if self.rqa_full_policy not in RQA_FULL_POLICIES:
+            raise ConfigError(
+                f"rqa_full_policy must be one of {RQA_FULL_POLICIES} "
+                f"(got {self.rqa_full_policy!r})"
+            )
+        if self.migration_max_retries < 0:
+            raise ConfigError(
+                "migration_max_retries must be >= 0 "
+                f"(got {self.migration_max_retries})"
+            )
+        # The layout must partition: catches a geometry too small for
+        # the (possibly overridden) RQA before any structure is built.
+        reserved = self.derived_rqa_slots + self.table_dram_rows
+        if reserved >= self.geometry.rows_per_rank:
+            raise ConfigError(
+                f"reserved rows ({reserved:,}: RQA {self.derived_rqa_slots:,}"
+                f" + tables {self.table_dram_rows:,}) must be smaller than "
+                f"the rank of {self.geometry.rows_per_rank:,} rows"
+            )
 
     @property
     def effective_threshold(self) -> int:
@@ -68,7 +133,9 @@ class AquaConfig:
         """RQA size: the override if given, else Equation 3."""
         if self.rqa_slots is not None:
             if self.rqa_slots < 1:
-                raise ValueError("rqa_slots must be >= 1")
+                raise ConfigError(
+                    f"rqa_slots must be >= 1 or None (got {self.rqa_slots})"
+                )
             return self.rqa_slots
         return rqa_rows(
             self.effective_threshold,
@@ -87,7 +154,10 @@ class AquaConfig:
         """
         if self.fpt_capacity is not None:
             if self.fpt_capacity < 1:
-                raise ValueError("fpt_capacity must be >= 1")
+                raise ConfigError(
+                    f"fpt_capacity must be >= 1 or None "
+                    f"(got {self.fpt_capacity})"
+                )
             return self.fpt_capacity
         derived = math.ceil(self.derived_rqa_slots * 32 / 23)
         # Round up to a multiple of 16 (2 skews x 8 ways).
@@ -115,7 +185,10 @@ class AquaConfig:
         reserved = self.derived_rqa_slots + self.table_dram_rows
         visible = self.geometry.rows_per_rank - reserved
         if visible <= 0:
-            raise ValueError("reserved regions exceed memory capacity")
+            raise ConfigError(
+                f"reserved rows ({reserved:,}) exceed the rank of "
+                f"{self.geometry.rows_per_rank:,} rows"
+            )
         return visible
 
     @property

@@ -58,6 +58,7 @@ class FptCache:
         self.hits = 0
         self.misses = 0
         self.singleton_filtered = 0
+        self.corruptions = 0
 
     @property
     def num_entries(self) -> int:
@@ -147,6 +148,27 @@ class FptCache:
                 return True
         return False
 
+    def corrupt(self, row_id: int) -> Optional[int]:
+        """Fault-injection hook: corrupt one valid way of ``row_id``'s set.
+
+        Models a detected SRAM bit flip: cache entries carry parity, so
+        a corrupted entry is *dropped* (never served wrong), forcing the
+        next lookup of its row back to the in-DRAM FPT -- the safe
+        degradation of Sec. V's filter chain.  Returns the row whose
+        entry was discarded, or ``None`` if the set held nothing to
+        corrupt.
+        """
+        for entry in self._set_of(row_id):
+            if entry.valid:
+                victim = entry.tag
+                entry.valid = False
+                entry.tag = -1
+                entry.singleton = False
+                entry.rrpv = RRIP_MAX
+                self.corruptions += 1
+                return victim
+        return None
+
     def set_group_singleton(self, group: int, singleton: bool) -> None:
         """Update the singleton bit on any cached entries of ``group``."""
         ways = self._sets[group % self.num_sets]
@@ -181,6 +203,9 @@ class FptCache:
         )
         registry.counter("fpt_cache_singleton_filtered_total").set_total(
             self.singleton_filtered, **labels
+        )
+        registry.counter("fpt_cache_corruptions_total").set_total(
+            self.corruptions, **labels
         )
         registry.gauge("fpt_cache_occupancy").set(self.occupancy(), **labels)
         registry.gauge("fpt_cache_hit_rate").set(self.hit_rate(), **labels)

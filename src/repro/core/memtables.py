@@ -31,6 +31,7 @@ from repro.core.fpt import (
 from repro.core.fpt_cache import FptCache
 from repro.core.rpt import ReversePointerTable
 from repro.dram.timing import DDR4Timing, DDR4_2400
+from repro.faults import NULL_INJECTOR
 
 
 class LookupOutcome(enum.Enum):
@@ -150,6 +151,15 @@ class MemoryMappedTables(TableBackend):
         self.rpt_dram_accesses = 0
         self.false_positive_dram_lookups = 0
         self.outcome_counts = {outcome: 0 for outcome in LookupOutcome}
+        #: Fault-injection sink (attached by the owning scheme).  Two
+        #: sites bite here: ``fpt_cache_corrupt`` drops a cached entry
+        #: (detected corruption) and ``fpt_cache_miss`` forces the
+        #: lookup past the cache -- both degrade to the in-DRAM FPT,
+        #: never to a wrong mapping.
+        self.faults = NULL_INJECTOR
+        self.forced_misses = 0
+        #: Simulated-time source for fault events (lent by the scheme).
+        self.clock = lambda: 0.0
 
     # ---------------------------------------------------------------- helpers
 
@@ -190,7 +200,17 @@ class MemoryMappedTables(TableBackend):
                 outcome=LookupOutcome.BLOOM_FILTERED,
                 latency_ns=self.BLOOM_NS,
             )
-        slot = self.cache.lookup(row_id)
+        faults = self.faults
+        forced_miss = False
+        if faults.enabled:
+            now = self.clock()
+            if faults.inject("fpt_cache_corrupt", ts_ns=now, row=row_id):
+                self.cache.corrupt(row_id)
+            forced_miss = faults.inject("fpt_cache_miss", ts_ns=now, row=row_id)
+            if forced_miss:
+                self.forced_misses += 1
+                self.cache.misses += 1
+        slot = None if forced_miss else self.cache.lookup(row_id)
         if slot is not None:
             self.outcome_counts[LookupOutcome.CACHE_HIT] += 1
             return TableLookup(
@@ -198,7 +218,7 @@ class MemoryMappedTables(TableBackend):
                 outcome=LookupOutcome.CACHE_HIT,
                 latency_ns=self.BLOOM_NS + self.CACHE_NS,
             )
-        if self.cache.covered_by_singleton(row_id):
+        if not forced_miss and self.cache.covered_by_singleton(row_id):
             self.outcome_counts[LookupOutcome.SINGLETON] += 1
             return TableLookup(
                 slot=None,

@@ -43,6 +43,21 @@ class MigrationCosts:
             ),
         )
 
+    def interrupted_attempt_ns(self, attempt: int) -> float:
+        """Channel time wasted by the ``attempt``-th interrupted transfer.
+
+        An interruption aborts the destination *write*; the copy-buffer
+        read had already completed, so one row transfer is lost, plus an
+        exponential backoff (in units of the transfer time, capped at
+        8x) before the retry is issued.  The source row is untouched and
+        the mapping tables were never updated: the operation rolls back
+        to "row still home" at this cost (DESIGN.md §8).
+        """
+        if attempt < 1:
+            raise ValueError("attempt must be >= 1")
+        backoff_units = min(8, 1 << (attempt - 1))
+        return self.transfer_ns * (1 + backoff_units)
+
     @property
     def swap_ns(self) -> float:
         """Cost of an RRS-style swap: two reads and two writes.

@@ -22,15 +22,19 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.core.rpt import ReversePointerTable
+from repro.errors import SimulationError
 from repro.telemetry import NULL_TELEMETRY
 
 
-class RqaExhaustedError(RuntimeError):
+class RqaExhaustedError(SimulationError):
     """An RQA slot would be reused within the epoch it was filled.
 
     Reaching this state means the quarantine area was under-provisioned
     for the observed migration rate -- the exact security failure that
-    Equation 3's sizing rules out.  The simulator treats it as fatal.
+    Equation 3's sizing rules out.  Under the default
+    ``rqa_full_policy="fail"`` the simulator treats it as fatal; with
+    ``"throttle"`` the orchestrator catches it and degrades to rate
+    limiting the triggering row instead (DESIGN.md §8).
     """
 
 
@@ -110,6 +114,15 @@ class RowQuarantineArea:
             )
             self.telemetry.inc("rqa_rotations_total")
         return Allocation(slot=slot, evicted_row=evicted)
+
+    def head_blocked(self, epoch: int) -> bool:
+        """Would allocating in ``epoch`` hit the intra-epoch reuse guard?
+
+        A side-effect-free probe of the condition that makes
+        :meth:`allocate` raise, used by the orchestrator's degradation
+        path to throttle *before* burning an allocation attempt.
+        """
+        return self.rpt.entry(self.head).epoch == epoch
 
     def release(self, slot: int) -> Optional[int]:
         """Free ``slot`` outside the allocation path (internal migration

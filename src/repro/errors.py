@@ -1,0 +1,56 @@
+"""Structured exception hierarchy for the whole toolkit.
+
+Every error the simulator raises deliberately derives from
+:class:`ReproError`, split into two broad classes with different
+handling contracts (see DESIGN.md §8, "degradation taxonomy"):
+
+* :class:`ConfigError` -- the *inputs* are wrong (bad parameter, bad
+  checkpoint header, unknown workload).  Never retried: the caller must
+  fix the configuration.  Subclasses :class:`ValueError` so existing
+  ``except ValueError`` call sites (and tests) keep working.
+* :class:`SimulationError` -- the *run* went wrong (security alarm,
+  exhausted fault-retry budget, per-run timeout).  Subclasses
+  :class:`RuntimeError` for the same compatibility reason.  The sweep
+  runner treats :class:`RunTimeoutError` as transient (retried with
+  backoff) and everything else as a per-run failure to report.
+
+:class:`FaultExhaustedError` marks the boundary of graceful
+degradation: a fault-tolerant path (migration retry, throttle fallback)
+ran out of budget and the scheme could neither complete nor degrade.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every deliberate error raised by this package."""
+
+
+class ConfigError(ReproError, ValueError):
+    """Invalid configuration or input.
+
+    Messages name the offending field and its allowed range, e.g.
+    ``"rowhammer_threshold must be >= 2 (got 1)"``, so failures surface
+    at construction instead of deep inside Equation-3 sizing.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """A simulation run failed after starting with valid inputs."""
+
+
+class RunTimeoutError(SimulationError):
+    """A single workload run exceeded its wall-clock budget.
+
+    Classified *transient* by the sweep runner: the run is retried with
+    backoff up to the configured attempt budget.
+    """
+
+
+class FaultExhaustedError(SimulationError):
+    """A degradation path ran out of retry budget.
+
+    Raised when a fault-tolerant operation (e.g. an interrupted row
+    migration) exhausted its retries *and* the configured policy forbids
+    falling back further (``rqa_full_policy="fail"``).
+    """

@@ -1,0 +1,27 @@
+"""Deterministic fault injection for chaos testing the simulator.
+
+A :class:`FaultInjector` perturbs the simulation at well-defined hook
+points (DESIGN.md §8 lists the sites and the degradation policy each
+one exercises).  The schedule is a pure function of the seed: two runs
+with the same seed, rates, and workload observe byte-identical fault
+schedules, so chaos results are reproducible and diffable.
+
+:data:`NULL_INJECTOR` is the shared no-op default threaded through
+:class:`~repro.mitigations.base.MitigationScheme`, mirroring the
+telemetry null object: un-faulted runs pay one attribute load and a
+``False`` branch per hook.
+"""
+
+from repro.faults.injector import (
+    FAULT_SITES,
+    FaultInjector,
+    NULL_INJECTOR,
+    NullFaultInjector,
+)
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultInjector",
+    "NULL_INJECTOR",
+    "NullFaultInjector",
+]

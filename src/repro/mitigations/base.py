@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.dram.refresh import RefreshScheduler
+from repro.faults import NULL_INJECTOR
 from repro.telemetry import NULL_TELEMETRY
 
 
@@ -82,6 +83,26 @@ class MitigationScheme(abc.ABC):
         #: time-less internal paths (table-row quarantines, tracker
         #: installs) a simulated-time stamp for their events.
         self.now_ns = 0.0
+        #: Fault-injection sink (see :mod:`repro.faults`); the null
+        #: object keeps un-faulted runs at one attribute load and branch
+        #: per hook.  Two sites are handled generically here:
+        #: ``refresh_postpone`` (the epoch boundary slips by up to
+        #: 8 tREFI, the DDR4 postponement allowance) and
+        #: ``tracker_drop`` (an ART entry is lost mid-epoch).
+        self.faults = NULL_INJECTOR
+        self._postpone_epoch = -1
+        self._postpone_until_ns = 0.0
+        self.postponed_refreshes = 0
+        self.tracker_drops = 0
+
+    def attach_faults(self, injector) -> None:
+        """Wire a :class:`~repro.faults.FaultInjector` into the scheme.
+
+        Separate from ``__init__`` so scheme factories built for clean
+        runs can be reused by the chaos harness unchanged.  Subclasses
+        extend this to thread the injector into owned structures.
+        """
+        self.faults = injector if injector is not None else NULL_INJECTOR
 
     @abc.abstractmethod
     def _translate(self, logical_row: int) -> Tuple[int, float, Optional[object]]:
@@ -106,7 +127,45 @@ class MitigationScheme(abc.ABC):
         self.now_ns = now_ns
         epoch = self.refresh.epoch_of(now_ns)
         if epoch != self.current_epoch:
+            if self.faults.enabled and self._refresh_postponed(epoch, now_ns):
+                return
             self._end_epoch(epoch)
+
+    def _refresh_postponed(self, epoch: int, now_ns: float) -> bool:
+        """Fault site ``refresh_postpone``: hold an epoch boundary open.
+
+        DDR4 lets a controller postpone up to 8 refresh commands; the
+        injected fault models the worst case of that allowance by
+        keeping the previous epoch's tracker state live for 8 tREFI
+        past the boundary.  Delaying the ART reset only *over*-counts
+        rows (detection is never missed), so this degrades performance,
+        not the security invariant.
+        """
+        if self._postpone_epoch == epoch:
+            if now_ns < self._postpone_until_ns:
+                return True
+            return False
+        if self.faults.inject(
+            "refresh_postpone", ts_ns=now_ns, scheme=self.name, epoch=epoch
+        ):
+            self._postpone_epoch = epoch
+            self._postpone_until_ns = now_ns + 8 * self.refresh.timing.trefi_ns
+            self.postponed_refreshes += 1
+            return True
+        # Remember the decision so one boundary consumes one draw.
+        self._postpone_epoch = epoch
+        self._postpone_until_ns = now_ns
+        return False
+
+    def _maybe_drop_tracker(self, physical_row: int) -> None:
+        """Fault site ``tracker_drop``: lose the ART entry for a row."""
+        if self.faults.inject(
+            "tracker_drop", ts_ns=self.now_ns,
+            scheme=self.name, row=physical_row,
+        ):
+            tracker = getattr(self, "tracker", None)
+            if tracker is not None and tracker.drop(physical_row):
+                self.tracker_drops += 1
 
     def collect_metrics(self, telemetry) -> None:
         """Copy scheme statistics into the metrics registry.
@@ -129,12 +188,21 @@ class MitigationScheme(abc.ABC):
         )
         for name, value in counters:
             registry.counter(name).set_total(value, scheme=scheme)
+        if self.faults.enabled:
+            registry.counter("fault_tracker_drops_total").set_total(
+                self.tracker_drops, scheme=scheme
+            )
+            registry.counter("fault_postponed_refreshes_total").set_total(
+                self.postponed_refreshes, scheme=scheme
+            )
 
     def access(self, logical_row: int, now_ns: float) -> AccessResult:
         """Route one activation of ``logical_row`` at time ``now_ns``."""
         self._sync_epoch(now_ns)
         self.stats.accesses += 1
         physical, lookup_ns, outcome = self._translate(logical_row)
+        if self.faults.enabled:
+            self._maybe_drop_tracker(physical)
         if self._observe(physical):
             result = self._mitigate(logical_row, physical, now_ns)
         else:
@@ -187,6 +255,8 @@ class MitigationScheme(abc.ABC):
         self._sync_epoch(now_ns)
         self.stats.accesses += n
         physical, lookup_ns, outcome = self._translate_batch(logical_row, n)
+        if self.faults.enabled:
+            self._maybe_drop_tracker(physical)
         crossings = self._observe_batch(physical, n)
         if crossings == 0:
             result = AccessResult(physical_row=physical)

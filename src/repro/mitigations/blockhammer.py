@@ -135,6 +135,8 @@ class Blockhammer(MitigationScheme):
         self._sync_epoch(now_ns)
         self.stats.accesses += n
         physical, lookup_ns, outcome = self._translate(logical_row)
+        if self.faults.enabled:
+            self._maybe_drop_tracker(physical)
         after = self._estimate_after(physical, n)
         before = after - n
         throttled = max(0, after - max(before, self.blacklist_threshold))

@@ -1,0 +1,179 @@
+"""Crash-safe sweep checkpointing.
+
+A :class:`SweepCheckpoint` is an append-only JSONL file recording one
+sweep's progress: a header line pinning the sweep's parameters, then
+one result line per completed (scheme, workload) run.  Each record is
+flushed *and* fsynced as it is written, so a run killed at any point
+loses at most the line it was writing -- and resume tolerates exactly
+that truncated trailing line.
+
+Resuming (``repro sweep --resume``) replays the file: the header must
+match the requested sweep (same schemes, threshold, epochs, seed --
+silently mixing results from a different configuration would poison
+the aggregate), completed pairs are skipped, and the runner appends
+the remaining runs to the same file.  A sweep interrupted and resumed
+therefore produces a checkpoint whose result records are identical to
+an uninterrupted run's (the CI chaos-smoke job asserts this).
+
+Format (DESIGN.md §8)::
+
+    {"record": "header", "version": 1, "meta": {...}}
+    {"record": "result", "scheme": "aqua-sram", "workload": "mcf", "result": {...}}
+    ...
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError, SimulationError
+from repro.sim.stats import WorkloadResult
+
+CHECKPOINT_VERSION = 1
+
+RunKey = Tuple[str, str]
+"""(scheme label, workload name) -- the unit of sweep progress."""
+
+
+class SweepCheckpoint:
+    """Append-only JSONL journal of completed sweep runs."""
+
+    def __init__(self, path: str, meta: dict) -> None:
+        self.path = path
+        self.meta = dict(meta)
+        self.completed: Dict[RunKey, WorkloadResult] = {}
+        self.skipped_lines = 0
+        self._fh = None
+
+    # ------------------------------------------------------------ constructors
+
+    @classmethod
+    def create(cls, path: str, meta: dict) -> "SweepCheckpoint":
+        """Start a fresh checkpoint, truncating any existing file."""
+        checkpoint = cls(path, meta)
+        checkpoint._fh = open(path, "w", encoding="utf-8")
+        checkpoint._append(
+            {
+                "record": "header",
+                "version": CHECKPOINT_VERSION,
+                "meta": checkpoint.meta,
+            }
+        )
+        return checkpoint
+
+    @classmethod
+    def resume(cls, path: str, meta: Optional[dict] = None) -> "SweepCheckpoint":
+        """Load a checkpoint and reopen it for appending.
+
+        ``meta``, when given, must match the stored header exactly --
+        resuming a sweep under different parameters raises
+        :class:`~repro.errors.ConfigError` instead of silently mixing
+        incompatible results.  A truncated trailing line (the crash
+        artifact of a killed run) is tolerated and counted in
+        ``skipped_lines``; corruption anywhere else is too, so resume
+        salvages every intact record.
+        """
+        if not os.path.exists(path):
+            raise ConfigError(f"checkpoint {path!r} does not exist")
+        header = None
+        results: List[dict] = []
+        skipped = 0
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    skipped += 1
+                    continue
+                if not isinstance(record, dict):
+                    skipped += 1
+                    continue
+                kind = record.get("record")
+                if kind == "header":
+                    header = record
+                elif kind == "result":
+                    results.append(record)
+                else:
+                    skipped += 1
+        if header is None:
+            raise ConfigError(
+                f"checkpoint {path!r} has no header record; not a sweep "
+                f"checkpoint (or corrupted beyond recovery)"
+            )
+        if header.get("version") != CHECKPOINT_VERSION:
+            raise ConfigError(
+                f"checkpoint {path!r} is version {header.get('version')}, "
+                f"this build reads version {CHECKPOINT_VERSION}"
+            )
+        stored_meta = header.get("meta", {})
+        if meta is not None and dict(meta) != dict(stored_meta):
+            mismatched = sorted(
+                set(meta) | set(stored_meta),
+            )
+            detail = ", ".join(
+                f"{key}: requested {meta.get(key)!r} vs stored "
+                f"{stored_meta.get(key)!r}"
+                for key in mismatched
+                if meta.get(key) != stored_meta.get(key)
+            )
+            raise ConfigError(
+                f"checkpoint {path!r} was written by a different sweep "
+                f"({detail}); start a fresh checkpoint instead"
+            )
+        checkpoint = cls(path, stored_meta)
+        checkpoint.skipped_lines = skipped
+        for record in results:
+            try:
+                result = WorkloadResult.from_dict(record["result"])
+                key = (str(record["scheme"]), str(record["workload"]))
+            except (KeyError, TypeError, ValueError):
+                checkpoint.skipped_lines += 1
+                continue
+            checkpoint.completed[key] = result
+        checkpoint._fh = open(path, "a", encoding="utf-8")
+        return checkpoint
+
+    # ----------------------------------------------------------------- writing
+
+    def _append(self, record: dict) -> None:
+        fh = self._fh
+        if fh is None:
+            raise SimulationError(f"checkpoint {self.path!r} is closed")
+        fh.write(json.dumps(record, sort_keys=True))
+        fh.write("\n")
+        # Crash safety: the record must be durable before the runner
+        # moves on, or a kill could lose a finished run.
+        fh.flush()
+        os.fsync(fh.fileno())
+
+    def record(self, scheme: str, workload: str, result: WorkloadResult) -> None:
+        """Durably record one completed run."""
+        self._append(
+            {
+                "record": "result",
+                "scheme": scheme,
+                "workload": workload,
+                "result": result.to_dict(),
+            }
+        )
+        self.completed[(scheme, workload)] = result
+
+    def has(self, scheme: str, workload: str) -> bool:
+        """Whether this (scheme, workload) pair already completed."""
+        return (scheme, workload) in self.completed
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SweepCheckpoint":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

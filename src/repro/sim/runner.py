@@ -7,15 +7,20 @@ and aggregate with geometric means, exactly as the paper reports.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.aqua import AquaMitigation
 from repro.core.config import AquaConfig
+from repro.errors import RunTimeoutError
 from repro.mitigations.base import MitigationScheme
 from repro.mitigations.blockhammer import Blockhammer
 from repro.mitigations.none import NoMitigation
 from repro.mitigations.rrs import RandomizedRowSwap
 from repro.mitigations.victim_refresh import VictimRefresh
+from repro.sim.checkpoint import SweepCheckpoint
 from repro.sim.cpu import gmean
 from repro.sim.stats import WorkloadResult
 from repro.sim.system import SystemSimulator
@@ -147,6 +152,181 @@ def run_suite(
         )
         for target in workloads
     }
+
+
+# ------------------------------------------------------------- hardened sweep
+
+
+@dataclass
+class RunFailure:
+    """One (scheme, workload) run that did not produce a result."""
+
+    scheme: str
+    workload: str
+    error: str
+    attempts: int
+
+
+@dataclass
+class SweepReport:
+    """Outcome of a hardened sweep: results plus an error ledger."""
+
+    results: Dict[Tuple[str, str], WorkloadResult] = field(
+        default_factory=dict
+    )
+    failures: List[RunFailure] = field(default_factory=list)
+    resumed: int = 0
+    """Runs skipped because the checkpoint already held them."""
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def by_scheme(self) -> Dict[str, Dict[str, WorkloadResult]]:
+        """Results regrouped as {scheme: {workload: result}}."""
+        grouped: Dict[str, Dict[str, WorkloadResult]] = {}
+        for (scheme, name), result in self.results.items():
+            grouped.setdefault(scheme, {})[name] = result
+        return grouped
+
+
+def _call_with_timeout(fn: Callable[[], WorkloadResult], timeout_s: float):
+    """Run ``fn`` under a wall-clock deadline.
+
+    Uses ``signal.setitimer`` (Unix, main thread).  Where the timer is
+    unavailable -- non-main thread, platforms without SIGALRM -- the
+    call runs unbounded rather than failing: a missing guard degrades
+    to the old behaviour, it does not break the sweep.
+    """
+    if timeout_s <= 0 or not hasattr(signal, "setitimer"):
+        return fn()
+    try:
+        previous = signal.signal(signal.SIGALRM, _raise_timeout)
+    except ValueError:  # not the main thread
+        return fn()
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        return fn()
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _raise_timeout(signum, frame):
+    raise RunTimeoutError("per-run wall-clock timeout expired")
+
+
+def run_hardened(
+    factory: SchemeFactory,
+    target,
+    epochs: int = 2,
+    telemetry=None,
+    fault_injector=None,
+    timeout_s: float = 0.0,
+    retries: int = 0,
+    backoff_s: float = 0.5,
+) -> WorkloadResult:
+    """Run one workload with timeout and transient-failure retry.
+
+    Only :class:`~repro.errors.RunTimeoutError` and ``OSError`` are
+    treated as transient (retried with exponential backoff up to
+    ``retries`` times); everything else is a real bug in the run and
+    propagates immediately so the sweep's error ledger sees it.
+    """
+
+    def attempt() -> WorkloadResult:
+        scheme = (
+            factory(telemetry=telemetry)
+            if telemetry is not None
+            else factory()
+        )
+        if fault_injector is not None:
+            scheme.attach_faults(fault_injector)
+        simulator = SystemSimulator(scheme)
+        return simulator.run(target, epochs=epochs)
+
+    for retry in range(retries + 1):
+        try:
+            return _call_with_timeout(attempt, timeout_s)
+        except (RunTimeoutError, OSError):
+            if retry == retries:
+                raise
+            time.sleep(backoff_s * (2 ** retry))
+    raise AssertionError("unreachable")
+
+
+def run_sweep(
+    factories: Dict[str, SchemeFactory],
+    workloads: Optional[List] = None,
+    epochs: int = 2,
+    telemetry=None,
+    checkpoint: Optional[SweepCheckpoint] = None,
+    injector_factory: Optional[Callable[[str, str], object]] = None,
+    timeout_s: float = 0.0,
+    retries: int = 0,
+    backoff_s: float = 0.5,
+    progress: Optional[Callable[[str, str, str], None]] = None,
+) -> SweepReport:
+    """Run every (scheme, workload) pair, surviving individual failures.
+
+    One failing run no longer aborts the sweep: it is recorded in the
+    report's ``failures`` ledger and the sweep moves on.  With a
+    ``checkpoint``, each completed run is durably journaled and pairs
+    already present (a ``--resume``) are skipped.  ``injector_factory``
+    (scheme label, workload name) -> injector wires per-run fault
+    injection for the chaos harness; ``progress`` receives
+    (scheme, workload, status) callbacks with status in
+    ``{"resumed", "ok", "failed"}``.
+    """
+    if workloads is None:
+        workloads = all_workloads()
+    report = SweepReport()
+    for label, factory in factories.items():
+        for target in workloads:
+            if checkpoint is not None and checkpoint.has(label, target.name):
+                report.results[(label, target.name)] = checkpoint.completed[
+                    (label, target.name)
+                ]
+                report.resumed += 1
+                if progress is not None:
+                    progress(label, target.name, "resumed")
+                continue
+            injector = (
+                injector_factory(label, target.name)
+                if injector_factory is not None
+                else None
+            )
+            try:
+                result = run_hardened(
+                    factory,
+                    target,
+                    epochs=epochs,
+                    telemetry=telemetry,
+                    fault_injector=injector,
+                    timeout_s=timeout_s,
+                    retries=retries,
+                    backoff_s=backoff_s,
+                )
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:  # ledger, not crash: see docstring
+                report.failures.append(
+                    RunFailure(
+                        scheme=label,
+                        workload=target.name,
+                        error=f"{type(exc).__name__}: {exc}",
+                        attempts=retries + 1,
+                    )
+                )
+                if progress is not None:
+                    progress(label, target.name, "failed")
+                continue
+            report.results[(label, target.name)] = result
+            if checkpoint is not None:
+                checkpoint.record(label, target.name, result)
+            if progress is not None:
+                progress(label, target.name, "ok")
+    return report
 
 
 def gmean_slowdown(results: Dict[str, WorkloadResult]) -> float:

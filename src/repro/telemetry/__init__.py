@@ -27,6 +27,7 @@ from repro.telemetry.events import (
     EventTracer,
     TraceEvent,
     load_trace,
+    load_trace_lenient,
     write_chrome_trace,
     write_jsonl,
 )
@@ -56,6 +57,7 @@ __all__ = [
     "TraceEvent",
     "TraceSummary",
     "load_trace",
+    "load_trace_lenient",
     "render_summary",
     "summarize_trace",
     "write_chrome_trace",

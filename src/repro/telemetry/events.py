@@ -190,3 +190,45 @@ def load_trace(path: str) -> List[dict]:
     return [
         json.loads(line) for line in text.splitlines() if line.strip()
     ]
+
+
+def load_trace_lenient(path: str) -> Tuple[List[dict], int]:
+    """Like :func:`load_trace`, but tolerate corrupt JSONL lines.
+
+    Returns ``(records, skipped)`` where ``skipped`` counts lines that
+    failed to parse (truncated trailing writes from a killed run, disk
+    corruption, editor damage).  Valid Chrome-trace documents never
+    skip; a Chrome-trace file that fails to parse as a whole falls back
+    to line-by-line JSONL recovery, salvaging whatever parses.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    try:
+        document = json.loads(text)
+    except ValueError:
+        document = None
+    if isinstance(document, dict) and "traceEvents" in document:
+        records = []
+        for entry in document["traceEvents"]:
+            record = {
+                "ts_ns": float(entry.get("ts", 0.0)) * 1_000.0,
+                "kind": entry.get("name", "unknown"),
+            }
+            record.update(entry.get("args", {}))
+            records.append(record)
+        return records, 0
+    records = []
+    skipped = 0
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            skipped += 1
+            continue
+        if not isinstance(record, dict):
+            skipped += 1
+            continue
+        records.append(record)
+    return records, skipped

@@ -78,6 +78,17 @@ class AggressorTracker(abc.ABC):
     def estimate(self, row_id: int) -> int:
         """Current estimated activation count for ``row_id`` (0 if untracked)."""
 
+    def drop(self, row_id: int) -> bool:
+        """Discard the tracker's state for ``row_id`` (fault injection).
+
+        Models a lost/corrupted ART entry: the row's activation history
+        vanishes and counting restarts from zero, the tracker-side fault
+        the chaos harness injects via the ``tracker_drop`` site.  Returns
+        whether an entry existed.  The default (for trackers without
+        per-row state to drop) is a no-op.
+        """
+        return False
+
     @abc.abstractmethod
     def reset(self) -> None:
         """Clear all counts at an epoch boundary."""
@@ -134,6 +145,9 @@ class PerBankTracker(AggressorTracker):
 
     def estimate(self, row_id: int) -> int:
         return self._banks[self._bank_of(row_id)].estimate(row_id)
+
+    def drop(self, row_id: int) -> bool:
+        return self._banks[self._bank_of(row_id)].drop(row_id)
 
     def reset(self) -> None:
         for tracker in self._banks.values():

@@ -47,6 +47,12 @@ class ExactTracker(AggressorTracker):
     def estimate(self, row_id: int) -> int:
         return self._counts[row_id]
 
+    def drop(self, row_id: int) -> bool:
+        if row_id in self._counts:
+            del self._counts[row_id]
+            return True
+        return False
+
     def reset(self) -> None:
         self._counts.clear()
 

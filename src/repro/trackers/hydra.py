@@ -107,6 +107,13 @@ class HydraTracker(AggressorTracker):
             return self._rct[row_id]
         return self._gct.get(self._group_of(row_id), 0)
 
+    def drop(self, row_id: int) -> bool:
+        if row_id not in self._rct:
+            return False
+        del self._rct[row_id]
+        self._rcc.pop(row_id, None)
+        return True
+
     def reset(self) -> None:
         self._gct.clear()
         self._rct.clear()

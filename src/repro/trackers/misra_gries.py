@@ -178,6 +178,15 @@ class MisraGriesBank(AggressorTracker):
     def estimate(self, row_id: int) -> int:
         return self._counts.get(row_id, 0)
 
+    def drop(self, row_id: int) -> bool:
+        count = self._counts.get(row_id)
+        if count is None:
+            return False
+        self._bucket_remove(row_id, count)
+        del self._counts[row_id]
+        self._advance_min()
+        return True
+
     def min_count(self) -> int:
         """Smallest tracked estimate (0 when the table is empty)."""
         if not self._counts:

@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.config import AquaConfig
 from repro.core.sizing import rqa_rows
+from repro.errors import ConfigError, ReproError
 
 
 class TestDefaults:
@@ -63,6 +64,58 @@ class TestValidation:
     def test_bad_fpt_capacity(self):
         with pytest.raises(ValueError):
             AquaConfig(fpt_capacity=0).derived_fpt_capacity
+
+
+class TestConstructionTimeValidation:
+    """__post_init__ raises ConfigError naming the field and its range."""
+
+    def test_config_error_is_a_value_error(self):
+        # Backward compatibility: every pre-existing `except ValueError`
+        # continues to catch configuration problems.
+        assert issubclass(ConfigError, ValueError)
+        assert issubclass(ConfigError, ReproError)
+
+    @pytest.mark.parametrize(
+        "kwargs, field, range_hint",
+        [
+            ({"rowhammer_threshold": 1}, "rowhammer_threshold", ">= 2"),
+            ({"table_mode": "flash"}, "table_mode", "sram"),
+            ({"tracker": "oracle"}, "tracker", "misra-gries"),
+            ({"rqa_slots": 0}, "rqa_slots", ">= 1"),
+            ({"fpt_capacity": -5}, "fpt_capacity", ">= 1"),
+            ({"bloom_group_size": 0}, "bloom_group_size", ">= 1"),
+            ({"fpt_cache_entries": 0}, "fpt_cache_entries", "multiple"),
+            ({"fpt_cache_entries": 24}, "fpt_cache_entries", "multiple"),
+            (
+                {"tracker_entries_per_bank": 0},
+                "tracker_entries_per_bank",
+                ">= 1",
+            ),
+            ({"rqa_full_policy": "panic"}, "rqa_full_policy", "throttle"),
+            ({"migration_max_retries": -1}, "migration_max_retries", ">= 0"),
+        ],
+    )
+    def test_error_names_field_and_range(self, kwargs, field, range_hint):
+        with pytest.raises(ConfigError) as excinfo:
+            AquaConfig(**kwargs)
+        message = str(excinfo.value)
+        assert field in message
+        assert range_hint in message
+
+    def test_valid_policy_values_accepted(self):
+        assert AquaConfig(rqa_full_policy="fail").rqa_full_policy == "fail"
+        assert (
+            AquaConfig(rqa_full_policy="throttle").rqa_full_policy
+            == "throttle"
+        )
+        assert AquaConfig(migration_max_retries=0).migration_max_retries == 0
+
+    def test_oversized_reservation_rejected_at_construction(self):
+        from repro.dram.geometry import DramGeometry
+
+        tiny = DramGeometry(banks_per_rank=1, rows_per_bank=64)
+        with pytest.raises(ConfigError):
+            AquaConfig(geometry=tiny, rqa_slots=100)
 
 
 class TestDerivedFptCapacity:

@@ -85,6 +85,75 @@ class TestRelease:
         assert rqa.release(1) is None
 
 
+class TestForcedFullOccupancy:
+    """Wraparound and drain behaviour with every slot held occupied."""
+
+    def test_wraparound_under_full_occupancy_evicts_in_fifo_order(self):
+        rqa = RowQuarantineArea(num_slots=4)
+        for row in (10, 11, 12, 13):
+            rqa.allocate(row, epoch=0)
+        assert rqa.occupancy() == 4
+        # A full lap in the next epoch: each allocation reuses the
+        # oldest slot and evicts its resident, strict FIFO.
+        evicted = [
+            rqa.allocate(row, epoch=1).evicted_row
+            for row in (20, 21, 22, 23)
+        ]
+        assert evicted == [10, 11, 12, 13]
+        assert rqa.occupancy() == 4
+        assert [rqa.resident_row(s) for s in range(4)] == [20, 21, 22, 23]
+
+    def test_head_blocked_probe_tracks_epoch_tags(self):
+        rqa = RowQuarantineArea(num_slots=2)
+        assert not rqa.head_blocked(epoch=0)
+        rqa.allocate(1, epoch=0)
+        rqa.allocate(2, epoch=0)
+        assert rqa.head_blocked(epoch=0)  # wrapped onto this epoch's fill
+        assert not rqa.head_blocked(epoch=1)
+
+    def test_head_collides_with_undrained_stale_row(self):
+        rqa = RowQuarantineArea(num_slots=2)
+        rqa.allocate(1, epoch=0)
+        rqa.allocate(2, epoch=0)
+        # Epoch 1: head is back at slot 0, whose epoch-0 resident was
+        # never drained -- allocation must still succeed by evicting it.
+        allocation = rqa.allocate(3, epoch=1)
+        assert allocation.slot == 0
+        assert allocation.evicted_row == 1
+        assert rqa.resident_row(0) == 3
+
+
+class TestDrainStaleUnderFullOccupancy:
+    def test_drain_stale_frees_only_stale_slots(self, aqua):
+        from tests.conftest import at_epoch
+
+        threshold = aqua.config.effective_threshold
+        for row in (5, 6, 7):
+            for i in range(threshold):
+                aqua.access(row, at_epoch(0, (row * threshold + i) * 10.0))
+        assert aqua.rqa.occupancy() == 3
+        # Same epoch: nothing is stale yet.
+        assert aqua.drain_stale() == 0
+        aqua.access(99, at_epoch(1))
+        drained = aqua.drain_stale()
+        assert drained == 3
+        assert aqua.rqa.occupancy() == 0
+        for row in (5, 6, 7):
+            assert not aqua.is_quarantined(row)
+
+    def test_drain_stale_respects_max_rows(self, aqua):
+        from tests.conftest import at_epoch
+
+        threshold = aqua.config.effective_threshold
+        for row in (5, 6, 7):
+            for i in range(threshold):
+                aqua.access(row, at_epoch(0, (row * threshold + i) * 10.0))
+        aqua.access(99, at_epoch(1))
+        assert aqua.drain_stale(max_rows=2) == 2
+        assert aqua.rqa.occupancy() == 1
+        assert aqua.drain_stale(max_rows=2) == 1
+
+
 class TestValidation:
     def test_zero_slots_rejected(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,130 @@
+"""FaultInjector: determinism, stream independence, telemetry."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import FAULT_SITES, FaultInjector, NULL_INJECTOR
+from repro.telemetry import Telemetry
+
+
+def drive(injector, checks=500):
+    """Consult every site ``checks`` times; return the fired schedule."""
+    schedule = []
+    for i in range(checks):
+        for site in FAULT_SITES:
+            if injector.inject(site, ts_ns=float(i)):
+                schedule.append((site, i))
+    return schedule
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        first = drive(FaultInjector(seed=7, fault_rate=0.05))
+        second = drive(FaultInjector(seed=7, fault_rate=0.05))
+        assert first == second
+        assert first  # the rate is high enough that something fired
+
+    def test_same_seed_same_digest(self):
+        a = FaultInjector(seed=7, fault_rate=0.05)
+        b = FaultInjector(seed=7, fault_rate=0.05)
+        drive(a)
+        drive(b)
+        assert a.schedule_digest() == b.schedule_digest()
+        assert a.schedule_digest() != "00000000"
+
+    def test_different_seed_different_schedule(self):
+        first = drive(FaultInjector(seed=7, fault_rate=0.05))
+        second = drive(FaultInjector(seed=8, fault_rate=0.05))
+        assert first != second
+
+    def test_scope_decorrelates_schedules(self):
+        first = drive(FaultInjector(seed=7, fault_rate=0.05, scope="a/x"))
+        second = drive(FaultInjector(seed=7, fault_rate=0.05, scope="a/y"))
+        assert first != second
+
+    def test_sites_draw_from_independent_streams(self):
+        """Consulting one site more often must not shift another's draws."""
+        solo = FaultInjector(seed=3, fault_rate=0.05)
+        noisy = FaultInjector(seed=3, fault_rate=0.05)
+        solo_fires = [
+            i for i in range(400) if solo.inject("tracker_drop")
+        ]
+        noisy_fires = []
+        for i in range(400):
+            noisy.inject("fpt_cache_miss")  # extra traffic on another site
+            noisy.inject("fpt_cache_miss")
+            if noisy.inject("tracker_drop"):
+                noisy_fires.append(i)
+        assert solo_fires == noisy_fires
+
+
+class TestRates:
+    def test_rate_zero_never_fires(self):
+        injector = FaultInjector(seed=1, fault_rate=0.0)
+        assert drive(injector, checks=200) == []
+        assert injector.total_injected == 0
+        assert injector.summary() == "none"
+
+    def test_rate_one_always_fires(self):
+        injector = FaultInjector(seed=1, fault_rate=1.0)
+        assert all(
+            injector.inject(site) for site in FAULT_SITES
+        )
+
+    def test_per_site_override_disables_one_site(self):
+        injector = FaultInjector(
+            seed=1, fault_rate=1.0, rates={"tracker_drop": 0.0}
+        )
+        assert not injector.inject("tracker_drop")
+        assert injector.inject("rqa_forced_full")
+
+    def test_offered_counts_every_check(self):
+        injector = FaultInjector(seed=1, fault_rate=0.0)
+        for _ in range(5):
+            injector.inject("tracker_drop")
+        assert injector.offered("tracker_drop") == 5
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultInjector(fault_rate=1.5)
+        with pytest.raises(ConfigError):
+            FaultInjector(rates={"tracker_drop": -0.1})
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultInjector(rates={"cosmic_ray": 0.5})
+
+
+class TestTelemetry:
+    def test_fault_events_and_counter_emitted(self):
+        telemetry = Telemetry()
+        injector = FaultInjector(
+            seed=1, fault_rate=1.0, telemetry=telemetry
+        )
+        assert injector.inject("tracker_drop", ts_ns=42.0, row=9)
+        events = telemetry.tracer.events()
+        assert len(events) == 1
+        event = events[0]
+        assert event.kind == "fault"
+        assert event.ts_ns == 42.0
+        assert event.attrs["site"] == "tracker_drop"
+        assert event.attrs["row"] == 9
+        snapshot = telemetry.registry.snapshot()
+        assert snapshot["faults_injected_total{site=tracker_drop}"] == 1
+
+    def test_summary_is_deterministic_text(self):
+        injector = FaultInjector(seed=1, fault_rate=1.0)
+        injector.inject("tracker_drop")
+        injector.inject("rqa_forced_full")
+        injector.inject("rqa_forced_full")
+        assert injector.summary() == (
+            "3 (rqa_forced_full=2, tracker_drop=1)"
+        )
+
+
+class TestNullInjector:
+    def test_disabled_and_inert(self):
+        assert NULL_INJECTOR.enabled is False
+        assert NULL_INJECTOR.inject("tracker_drop") is False
+        assert NULL_INJECTOR.counts() == {}
+        assert NULL_INJECTOR.total_injected == 0

@@ -118,17 +118,146 @@ class TestTraceAndInspect:
         assert main(["inspect", "/nonexistent/trace.jsonl"]) == 2
         assert "cannot read" in capsys.readouterr().out
 
-    def test_inspect_malformed_file(self, tmp_path, capsys):
+    def test_inspect_fully_malformed_file(self, tmp_path, capsys):
         bad = tmp_path / "bad.jsonl"
         bad.write_text("not json\n{]\n")
         assert main(["inspect", str(bad)]) == 2
-        assert "malformed" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "skipped 2 corrupt line(s)" in out
+        assert "no parseable events" in out
+
+    def test_inspect_skips_corrupt_lines_but_succeeds(
+        self, tmp_path, capsys
+    ):
+        mixed = tmp_path / "mixed.jsonl"
+        mixed.write_text(
+            '{"ts_ns": 1.0, "kind": "migration"}\n'
+            "garbage line\n"
+            '{"ts_ns": 2.0, "kind": "eviction"}\n'
+            '{"ts_ns": 3.0, "kind": "migr'  # truncated trailing write
+        )
+        assert main(["inspect", str(mixed)]) == 0
+        out = capsys.readouterr().out
+        assert "skipped 2 corrupt line(s)" in out
+        assert "2 valid events parsed" in out
 
     def test_inspect_empty_trace(self, tmp_path, capsys):
         empty = tmp_path / "empty.jsonl"
         empty.write_text("")
         assert main(["inspect", str(empty)]) == 2
-        assert "no events" in capsys.readouterr().out
+        assert "no parseable events" in capsys.readouterr().out
+
+
+class TestSweepHardening:
+    def test_failed_run_gives_summary_and_nonzero_exit(
+        self, capsys, monkeypatch
+    ):
+        from repro.sim import runner
+
+        real = runner.run_hardened
+
+        def fail_on_wrf(factory, target, **kwargs):
+            if target.name == "wrf":
+                raise RuntimeError("synthetic crash")
+            return real(factory, target, **kwargs)
+
+        monkeypatch.setattr("repro.cli.runner.run_hardened", fail_on_wrf)
+        code = main(
+            ["sweep", "--scheme", "aqua-sram", "--workloads",
+             "xz", "wrf", "gcc", "--epochs", "1"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAILED: RuntimeError: synthetic crash" in out
+        assert "1 of 3 run(s) failed:" in out
+        assert "xz" in out and "gcc" in out  # other runs still completed
+
+    def test_checkpoint_then_resume_skips_finished_runs(
+        self, tmp_path, capsys
+    ):
+        ck = str(tmp_path / "ck.jsonl")
+        base = ["sweep", "--scheme", "aqua-sram", "--epochs", "1"]
+        assert main(base + ["--workloads", "xz", "--checkpoint", ck]) == 0
+        capsys.readouterr()
+        assert main(base + ["--workloads", "xz", "wrf", "--resume", ck]) == 0
+        out = capsys.readouterr().out
+        assert "(resumed)" in out
+        assert "wrf" in out
+
+    def test_resumed_checkpoint_equals_uninterrupted(self, tmp_path, capsys):
+        straight = str(tmp_path / "straight.jsonl")
+        partial = str(tmp_path / "partial.jsonl")
+        base = ["sweep", "--scheme", "aqua-sram", "--epochs", "1"]
+        assert main(
+            base + ["--workloads", "xz", "wrf", "--checkpoint", straight]
+        ) == 0
+        assert main(
+            base + ["--workloads", "xz", "--checkpoint", partial]
+        ) == 0
+        assert main(
+            base + ["--workloads", "xz", "wrf", "--resume", partial]
+        ) == 0
+        capsys.readouterr()
+        assert open(partial).read() == open(straight).read()
+
+    def test_resume_with_mismatched_parameters_rejected(
+        self, tmp_path, capsys
+    ):
+        ck = str(tmp_path / "ck.jsonl")
+        assert main(
+            ["sweep", "--scheme", "aqua-sram", "--workloads", "xz",
+             "--epochs", "1", "--checkpoint", ck]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["sweep", "--scheme", "aqua-sram", "--workloads", "xz",
+             "--epochs", "1", "--trh", "2000", "--resume", ck]
+        )
+        assert code == 2
+        assert "cannot resume" in capsys.readouterr().out
+
+
+class TestChaos:
+    def test_completes_suite_and_reports_faults(self, capsys):
+        code = main(
+            ["chaos", "--seed", "7", "--fault-rate", "1e-3",
+             "--epochs", "1", "--workloads", "xz"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for scheme in ("aqua-sram", "aqua-mm", "rrs", "blockhammer",
+                       "victim-refresh"):
+            assert f"{scheme}/xz" in out
+        assert "0 broke" in out
+
+    def test_two_invocations_identical_output(self, capsys):
+        argv = ["chaos", "--seed", "7", "--fault-rate", "1e-3",
+                "--epochs", "1", "--workloads", "xz"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_different_seed_changes_the_schedule(self, capsys):
+        argv = ["chaos", "--fault-rate", "1e-3", "--epochs", "1",
+                "--workloads", "xz"]
+        assert main(argv + ["--seed", "7"]) == 0
+        first = capsys.readouterr().out
+        assert main(argv + ["--seed", "8"]) == 0
+        second = capsys.readouterr().out
+        assert first != second
+
+    def test_trace_contains_fault_events(self, tmp_path, capsys):
+        trace = str(tmp_path / "chaos.jsonl")
+        code = main(
+            ["chaos", "--seed", "7", "--fault-rate", "1e-3",
+             "--epochs", "1", "--workloads", "xz", "--trace", trace]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["inspect", trace]) == 0
+        assert "fault" in capsys.readouterr().out
 
 
 class TestAttack:
