@@ -1,0 +1,27 @@
+#!/usr/bin/env python
+"""Standalone perf harness: ``python benchmarks/bench_perf.py --quick``.
+
+Thin wrapper over :mod:`repro.bench` (also reachable as ``repro
+bench``) so the perf trajectory can be measured from a bare checkout
+without installing the package.  Times representative sweeps (serial
+vs parallel, traced, faulted), prints the stage-time metrics table,
+and writes machine-readable ``BENCH_<rev>.json``; see
+``benchmarks/baseline/BENCH_baseline.json`` for the committed baseline
+the CI bench job gates against.
+"""
+
+import os
+import sys
+
+if __name__ == "__main__":
+    try:
+        import repro  # noqa: F401  -- installed? use that
+    except ImportError:
+        sys.path.insert(
+            0,
+            os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                         os.pardir, "src"),
+        )
+    from repro.bench import main
+
+    raise SystemExit(main(sys.argv[1:]))

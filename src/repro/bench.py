@@ -1,0 +1,403 @@
+"""``repro bench``: the perf harness behind the benchmark-regression CI.
+
+Times representative sweeps -- serial vs ``--jobs N``, with and
+without tracing and fault injection -- and reports, per case:
+
+* ``wall_s``: end-to-end wall time of the case,
+* ``acts_per_s``: simulated DRAM activations processed per second (the
+  throughput figure of merit: evaluation throughput bounds the design
+  space a sweep can explore),
+* ``peak_rss_kb``: peak resident set, max over self and children,
+* per-stage wall time (``expand`` / ``execute`` / ``aggregate``),
+  recorded as gauges in a telemetry
+  :class:`~repro.telemetry.MetricsRegistry` and echoed into the JSON.
+
+The report is written as machine-readable ``BENCH_<rev>.json``::
+
+    {
+      "schema_version": 1,
+      "rev": "<git short rev>",
+      "timestamp": <unix seconds>,
+      "config_digest": "<sha256 of the case grid>",
+      "cases": {"<name>": {"wall_s": ..., "acts_per_s": ...,
+                           "peak_rss_kb": ..., "stages": {...},
+                           "runs": N, "failures": 0}}
+    }
+
+CI runs ``repro bench --quick --check benchmarks/baseline/
+BENCH_baseline.json`` on every PR and fails on a >25% wall-time
+regression in any case.  To accept an intentional change, regenerate
+the baseline with ``--update-baseline`` and commit it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.faults import FaultSpec
+from repro.parallel import expand_grid, run_sweep_parallel
+from repro.telemetry import MetricsRegistry, render_series_table
+
+
+BENCH_SCHEMA_VERSION = 1
+
+DEFAULT_TOLERANCE = 0.25
+"""CI fails when a case's wall time regresses past baseline * 1.25."""
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One timed configuration of the sweep executor."""
+
+    name: str
+    schemes: Tuple[str, ...]
+    workloads: Tuple[str, ...]
+    thresholds: Tuple[int, ...] = (1000,)
+    epochs: int = 1
+    jobs: int = 1
+    trace: bool = False
+    fault_rate: float = 0.0
+    seed: int = 7
+
+
+#: The quick grid CI runs on every PR: one serial / parallel pair over
+#: the same work (so their ratio exposes executor overhead), plus the
+#: instrumented and faulted variants of a small sweep.
+QUICK_CASES: Tuple[BenchCase, ...] = (
+    BenchCase("serial", ("aqua-mm",), ("xz", "gcc")),
+    BenchCase("parallel-j2", ("aqua-mm",), ("xz", "gcc"), jobs=2),
+    BenchCase("traced", ("aqua-mm",), ("xz",), trace=True),
+    BenchCase("faulted", ("aqua-sram",), ("xz",), fault_rate=1e-3),
+)
+
+#: The full grid adds a wider scheme mix, more workloads, and a
+#: 4-way-parallel point for scaling trend lines.
+FULL_CASES: Tuple[BenchCase, ...] = QUICK_CASES + (
+    BenchCase(
+        "serial-wide",
+        ("aqua-mm", "aqua-sram", "victim-refresh"),
+        ("xz", "gcc", "wrf", "lbm"),
+    ),
+    BenchCase(
+        "parallel-j4",
+        ("aqua-mm", "aqua-sram", "victim-refresh"),
+        ("xz", "gcc", "wrf", "lbm"),
+        jobs=4,
+    ),
+    BenchCase(
+        "traced-parallel",
+        ("aqua-mm",),
+        ("xz", "gcc"),
+        jobs=2,
+        trace=True,
+    ),
+)
+
+
+def git_rev() -> str:
+    """Short git revision, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def config_digest(cases: Sequence[BenchCase]) -> str:
+    """SHA-256 over the case grid: regression comparisons are only
+    meaningful between reports that measured the same work."""
+    blob = json.dumps([asdict(case) for case in cases], sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _peak_rss_kb() -> float:
+    """Peak RSS in KB, max over this process and reaped children."""
+    try:
+        import resource
+    except ImportError:  # non-Unix: report 0 rather than fail the bench
+        return 0.0
+    peak = max(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss,
+    )
+    # ru_maxrss is KB on Linux, bytes on macOS.
+    if sys.platform == "darwin":
+        peak /= 1024.0
+    return float(peak)
+
+
+def run_case(case: BenchCase, registry: MetricsRegistry) -> dict:
+    """Time one case; stage walls land in ``registry`` as gauges."""
+    stages: Dict[str, float] = {}
+
+    def stage(name: str, started: float) -> None:
+        elapsed = time.perf_counter() - started
+        stages[name] = elapsed
+        registry.gauge(
+            "bench_stage_seconds", "per-stage wall time of a bench case"
+        ).set(elapsed, case=case.name, stage=name)
+
+    case_start = time.perf_counter()
+    t = time.perf_counter()
+    points = expand_grid(
+        list(case.schemes),
+        list(case.workloads),
+        thresholds=case.thresholds,
+        epochs=case.epochs,
+        seed=case.seed,
+    )
+    stage("expand", t)
+    fault_spec = (
+        FaultSpec(seed=case.seed, fault_rate=case.fault_rate)
+        if case.fault_rate > 0.0
+        else None
+    )
+    t = time.perf_counter()
+    report = run_sweep_parallel(
+        points,
+        jobs=case.jobs,
+        trace=case.trace,
+        fault_spec=fault_spec,
+    )
+    stage("execute", t)
+    t = time.perf_counter()
+    total_acts = sum(
+        result.activations for result in report.results.values()
+    )
+    stage("aggregate", t)
+    wall_s = time.perf_counter() - case_start
+    registry.gauge(
+        "bench_wall_seconds", "end-to-end wall time of a bench case"
+    ).set(wall_s, case=case.name)
+    registry.gauge(
+        "bench_acts_per_second", "simulated activations per wall second"
+    ).set(total_acts / wall_s if wall_s > 0 else 0.0, case=case.name)
+    return {
+        "wall_s": wall_s,
+        "acts_per_s": total_acts / wall_s if wall_s > 0 else 0.0,
+        "peak_rss_kb": _peak_rss_kb(),
+        "stages": stages,
+        "runs": len(report.results),
+        "failures": len(report.failures),
+    }
+
+
+def run_bench(
+    cases: Sequence[BenchCase],
+    registry: Optional[MetricsRegistry] = None,
+    echo=None,
+) -> dict:
+    """Run every case and assemble the BENCH report dict."""
+    registry = registry if registry is not None else MetricsRegistry()
+    results: Dict[str, dict] = {}
+    for case in cases:
+        if echo is not None:
+            echo(f"  case {case.name} ...")
+        results[case.name] = run_case(case, registry)
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "rev": git_rev(),
+        "timestamp": time.time(),
+        "config_digest": config_digest(cases),
+        "python": sys.version.split()[0],
+        "cases": results,
+    }
+
+
+def validate_report(report: dict) -> None:
+    """Schema check on a BENCH report; :class:`ConfigError` on failure."""
+    if not isinstance(report, dict):
+        raise ConfigError("BENCH report is not a JSON object")
+    for key in ("schema_version", "rev", "timestamp", "config_digest",
+                "cases"):
+        if key not in report:
+            raise ConfigError(f"BENCH report is missing {key!r}")
+    if report["schema_version"] != BENCH_SCHEMA_VERSION:
+        raise ConfigError(
+            f"BENCH report schema_version {report['schema_version']!r}; "
+            f"this build reads {BENCH_SCHEMA_VERSION}"
+        )
+    if not isinstance(report["cases"], dict) or not report["cases"]:
+        raise ConfigError("BENCH report has no cases")
+    for name, case in report["cases"].items():
+        for key in ("wall_s", "acts_per_s", "peak_rss_kb"):
+            if not isinstance(case.get(key), (int, float)):
+                raise ConfigError(
+                    f"BENCH case {name!r} is missing numeric {key!r}"
+                )
+
+
+def write_report(report: dict, out: str) -> str:
+    """Write ``BENCH_<rev>.json`` under ``out`` (dir) or to ``out``
+    itself when it names a ``.json`` file; returns the path."""
+    if out.endswith(".json"):
+        path = out
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+    else:
+        os.makedirs(out, exist_ok=True)
+        path = os.path.join(out, f"BENCH_{report['rev']}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_report(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+    except OSError as exc:
+        raise ConfigError(f"cannot read BENCH report: {exc}")
+    except ValueError as exc:
+        raise ConfigError(f"BENCH report {path!r} is not valid JSON: {exc}")
+    validate_report(report)
+    return report
+
+
+DEFAULT_SLACK_S = 0.25
+"""Absolute grace added to every case limit: a 25% relative gate on a
+30 ms case would fail on scheduler noise alone, so the limit is
+``baseline * (1 + tolerance) + slack``."""
+
+
+def compare(
+    current: dict,
+    baseline: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    slack_s: float = DEFAULT_SLACK_S,
+) -> Tuple[List[str], List[str]]:
+    """Gate ``current`` against ``baseline``.
+
+    Returns ``(regressions, warnings)``: a case regresses when its wall
+    time exceeds ``baseline * (1 + tolerance) + slack_s``.  Cases
+    absent from the baseline (or vice versa) and a config-digest
+    mismatch are warnings, not failures -- a stale baseline should say
+    so, not silently pass.
+    """
+    regressions: List[str] = []
+    warnings: List[str] = []
+    if current.get("config_digest") != baseline.get("config_digest"):
+        warnings.append(
+            "config digest mismatch: the baseline measured a different "
+            "case grid; comparing shared case names only"
+        )
+    base_cases = baseline.get("cases", {})
+    for name, case in current.get("cases", {}).items():
+        base = base_cases.get(name)
+        if base is None:
+            warnings.append(f"case {name!r} has no baseline entry")
+            continue
+        limit = float(base["wall_s"]) * (1.0 + tolerance) + slack_s
+        if float(case["wall_s"]) > limit:
+            regressions.append(
+                f"{name}: wall_s {case['wall_s']:.3f} > "
+                f"{limit:.3f} (baseline {base['wall_s']:.3f} "
+                f"+{tolerance:.0%} +{slack_s:g}s)"
+            )
+    for name in base_cases:
+        if name not in current.get("cases", {}):
+            warnings.append(f"baseline case {name!r} was not measured")
+    return regressions, warnings
+
+
+# ------------------------------------------------------------------- CLI
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="time representative sweeps and gate on regressions",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="run the small PR-gate case grid")
+    parser.add_argument("--out", metavar="PATH", default=".",
+                        help="directory (or .json path) for "
+                             "BENCH_<rev>.json (default: cwd)")
+    parser.add_argument("--check", metavar="BASELINE", default=None,
+                        help="compare against a baseline BENCH json; "
+                             "exit 1 on regression")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE, metavar="FRAC",
+                        help="allowed wall-time growth before --check "
+                             "fails (default 0.25)")
+    parser.add_argument("--slack", type=float, default=DEFAULT_SLACK_S,
+                        metavar="SEC",
+                        help="absolute per-case grace on top of the "
+                             "relative tolerance (default 0.25s)")
+    parser.add_argument("--update-baseline", metavar="PATH", default=None,
+                        help="also write the report to PATH (the "
+                             "baseline-refresh escape hatch)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.tolerance < 0 or args.slack < 0:
+        print("error: --tolerance and --slack must be >= 0")
+        return 2
+    cases = QUICK_CASES if args.quick else FULL_CASES
+    label = "quick" if args.quick else "full"
+    print(f"repro bench ({label}: {len(cases)} cases)")
+    registry = MetricsRegistry()
+    report = run_bench(cases, registry=registry, echo=print)
+    validate_report(report)
+    print(render_series_table(registry.snapshot()))
+    path = write_report(report, args.out)
+    print(f"wrote {path}")
+    if args.update_baseline:
+        baseline_path = write_report(report, args.update_baseline)
+        print(f"updated baseline {baseline_path}")
+    failures = sum(
+        case["failures"] for case in report["cases"].values()
+    )
+    if failures:
+        print(f"error: {failures} sweep run(s) failed during benching")
+        return 1
+    if args.check:
+        try:
+            baseline = load_report(args.check)
+        except ConfigError as exc:
+            print(f"error: {exc}")
+            return 2
+        regressions, warnings = compare(
+            report, baseline, tolerance=args.tolerance, slack_s=args.slack
+        )
+        for warning in warnings:
+            print(f"warning: {warning}")
+        if regressions:
+            print(f"PERF REGRESSION vs {args.check}:")
+            for line in regressions:
+                print(f"  {line}")
+            print(
+                "intentional? refresh the baseline: repro bench "
+                f"{'--quick ' if args.quick else ''}--update-baseline "
+                f"{args.check} (then commit it)"
+            )
+            return 1
+        print(
+            f"bench ok: {len(report['cases'])} case(s) within "
+            f"{args.tolerance:.0%} of baseline"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -5,19 +5,27 @@ Subcommands::
     python -m repro sizing  --trh 1000            # Table III-style sizing
     python -m repro storage --trh 1000            # Table VII-style SRAM
     python -m repro sweep   --scheme aqua-mm --workloads lbm gcc
+    python -m repro sweep   --jobs 4 --out results.json   # parallel sweep
     python -m repro sweep   --trace out.jsonl --metrics --seed 7
     python -m repro sweep   --checkpoint ckpt.jsonl   # crash-safe journal
     python -m repro sweep   --resume ckpt.jsonl       # skip finished runs
     python -m repro chaos   --seed 7 --fault-rate 1e-3
+    python -m repro bench   --quick               # perf harness (BENCH json)
     python -m repro attack  --scheme aqua --pattern half-double
     python -m repro inspect out.jsonl             # summarize a trace
 
 Each prints a compact report to stdout; exit code 0 on success.
+
+``sweep`` always runs through the parallel executor
+(:mod:`repro.parallel`); ``--jobs 1`` (the default) executes inline,
+and any ``--jobs N`` produces byte-identical ``--out`` files for the
+same seeds (CI diffs ``--jobs 1`` against ``--jobs 4`` on every PR).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from typing import List, Optional
 
 from repro.analysis.storage import table_vii
@@ -30,11 +38,13 @@ from repro.dram.geometry import DramGeometry
 from repro.errors import ConfigError
 from repro.faults import FaultInjector
 from repro.mitigations.victim_refresh import VictimRefresh
+from repro.parallel import expand_grid, run_sweep_parallel
 from repro.sim import runner
 from repro.sim.checkpoint import SweepCheckpoint
 from repro.telemetry import (
     Telemetry,
     load_trace_lenient,
+    render_series_table,
     render_summary,
     summarize_trace,
     write_chrome_trace,
@@ -44,13 +54,9 @@ from repro.workloads.spec import workload
 from repro.workloads.table2 import SPEC_NAMES
 
 
-SCHEME_FACTORIES = {
-    "aqua-sram": runner.aqua_sram,
-    "aqua-mm": runner.aqua_memory_mapped,
-    "rrs": runner.rrs,
-    "blockhammer": runner.blockhammer,
-    "victim-refresh": runner.victim_refresh,
-}
+SCHEME_FACTORIES = runner.SCHEME_BUILDERS
+"""Backwards-compatible alias; the registry lives in the runner so the
+parallel executor's workers can rebuild factories by name."""
 
 ATTACK_GEOMETRY = DramGeometry(banks_per_rank=4, rows_per_bank=4096)
 ATTACK_TRH = 128
@@ -125,6 +131,13 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(0 = unbounded)")
     sweep.add_argument("--retries", type=int, default=0, metavar="N",
                        help="retries for transient failures (timeouts)")
+    sweep.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                       help="worker processes; results merge "
+                            "deterministically, so any N produces "
+                            "byte-identical output (default 1)")
+    sweep.add_argument("--out", metavar="PATH", default=None,
+                       help="write the results as canonical JSON "
+                            "(ordered by run key)")
 
     chaos = sub.add_parser(
         "chaos",
@@ -142,6 +155,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="NAME", help=f"choose from {SPEC_NAMES}")
     chaos.add_argument("--trace", metavar="PATH", default=None,
                        help="write the (fault-event-bearing) trace to PATH")
+
+    sub.add_parser(
+        "bench",
+        add_help=False,
+        help="time representative sweeps; write BENCH_<rev>.json "
+             "(see repro bench --help)",
+    )
 
     attack = sub.add_parser("attack", help="run an attack experiment")
     attack.add_argument("--scheme", choices=["aqua", "victim-refresh"],
@@ -186,12 +206,44 @@ def _cmd_storage(args) -> int:
     return 0
 
 
+def _write_results_json(path, meta, points, report) -> None:
+    """Canonical results JSON: run-key order, sorted keys, stable bytes.
+
+    The parallel-determinism CI step diffs this file across ``--jobs``
+    values, so everything here must be a pure function of the sweep's
+    inputs -- no timestamps, hostnames, or completion-order artifacts.
+    """
+    document = {
+        "meta": dict(meta),
+        "results": [
+            {
+                "scheme": point.label,
+                "workload": point.workload,
+                "result": report.results[point.key].to_dict(),
+            }
+            for point in points
+            if point.key in report.results
+        ],
+        "failures": [
+            {
+                "scheme": failure.scheme,
+                "workload": failure.workload,
+                "error": failure.error,
+                "attempts": failure.attempts,
+            }
+            for failure in report.failures
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
 def _cmd_sweep(args) -> int:
     unknown = [n for n in args.workloads if n not in SPEC_NAMES]
     if unknown:
         print(f"error: unknown workloads {unknown}; choose from {SPEC_NAMES}")
         return 2
-    factory = SCHEME_FACTORIES[args.scheme](args.trh)
     instrumented = bool(args.trace or args.metrics)
     checkpoint = None
     meta = {
@@ -213,60 +265,61 @@ def _cmd_sweep(args) -> int:
             )
     elif args.checkpoint:
         checkpoint = SweepCheckpoint.create(args.checkpoint, meta)
-    print(f"{args.scheme} @ T_RH={args.trh}, {args.epochs} epoch(s):")
-    tagged_events = []
-    failures = []
+    points = expand_grid(
+        [args.scheme],
+        args.workloads,
+        thresholds=(args.trh,),
+        epochs=args.epochs,
+        seed=args.seed,
+    )
+    statuses = {}
+    print(f"{args.scheme} @ T_RH={args.trh}, {args.epochs} epoch(s)"
+          + (f", {args.jobs} jobs" if args.jobs > 1 else "") + ":")
     try:
-        for name in args.workloads:
-            if checkpoint is not None and checkpoint.has(args.scheme, name):
-                result = checkpoint.completed[(args.scheme, name)]
-                print(f"  {result.summary()} (resumed)")
-                continue
-            telemetry = (
-                Telemetry(sample_rate=args.trace_sample)
-                if instrumented
-                else None
-            )
-            try:
-                result = runner.run_hardened(
-                    factory,
-                    workload(name, seed=args.seed),
-                    epochs=args.epochs,
-                    telemetry=telemetry,
-                    timeout_s=args.timeout,
-                    retries=args.retries,
-                )
-            except KeyboardInterrupt:
-                raise
-            except Exception as exc:
-                failures.append((name, f"{type(exc).__name__}: {exc}"))
-                print(
-                    f"  {name:>10s} [{args.scheme}] "
-                    f"FAILED: {type(exc).__name__}: {exc}"
-                )
-                continue
-            print(f"  {result.summary()}")
-            if checkpoint is not None:
-                checkpoint.record(args.scheme, name, result)
-            if telemetry is None:
-                continue
-            if args.metrics:
-                print(f"  metrics [{name}]:")
-                print(telemetry.metrics_table())
-            if args.trace:
-                tag = {"workload": name}
-                tagged_events.extend(
-                    (event, tag) for event in telemetry.tracer.events()
-                )
-                if telemetry.tracer.dropped:
-                    print(
-                        f"  warning: {name} trace dropped "
-                        f"{telemetry.tracer.dropped:,} events "
-                        "(ring buffer wrapped)"
-                    )
+        report = run_sweep_parallel(
+            points,
+            jobs=args.jobs,
+            checkpoint=checkpoint,
+            instrument=instrumented,
+            trace=bool(args.trace),
+            trace_sample=args.trace_sample,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            progress=lambda label, name, status: statuses.__setitem__(
+                (label, name), status
+            ),
+        )
     finally:
         if checkpoint is not None:
             checkpoint.close()
+    errors = {
+        (failure.scheme, failure.workload): failure.error
+        for failure in report.failures
+    }
+    tagged_events = []
+    for point in points:
+        name = point.workload
+        if point.key in errors:
+            print(f"  {name:>10s} [{point.label}] "
+                  f"FAILED: {errors[point.key]}")
+            continue
+        result = report.results[point.key]
+        resumed = statuses.get(point.key) == "resumed"
+        print(f"  {result.summary()}{' (resumed)' if resumed else ''}")
+        if args.metrics and point.key in report.metrics:
+            print(f"  metrics [{name}]:")
+            print(render_series_table(report.metrics[point.key]))
+        if args.trace and point.key in report.events:
+            tag = {"workload": name}
+            tagged_events.extend(
+                (event, tag) for event in report.events[point.key]
+            )
+            dropped = report.trace_dropped.get(point.key, 0)
+            if dropped:
+                print(
+                    f"  warning: {name} trace dropped "
+                    f"{dropped:,} events (ring buffer wrapped)"
+                )
     if args.trace:
         writer = (
             write_chrome_trace
@@ -275,12 +328,17 @@ def _cmd_sweep(args) -> int:
         )
         count = writer(args.trace, tagged_events)
         print(f"wrote {count:,} events to {args.trace}")
-    if failures:
-        print(f"{len(failures)} of {len(args.workloads)} run(s) failed:")
-        for name, error in failures:
-            print(f"  {name}: {error}")
+    if args.out:
+        _write_results_json(args.out, meta, points, report)
+        print(f"wrote {len(report.results)} result(s) to {args.out}")
+    if report.failures:
+        print(f"{len(report.failures)} of {len(points)} run(s) failed:")
+        for failure in report.failures:
+            print(f"  {failure.workload}: {failure.error}")
         return 1
     return 0
+
+
 
 
 def _cmd_chaos(args) -> int:
@@ -435,6 +493,17 @@ def _cmd_attack(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
+    if argv is None:
+        import sys
+
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench":
+        # The bench harness owns its option surface (it is also
+        # runnable standalone as benchmarks/bench_perf.py); hand the
+        # rest of the argv straight through.
+        from repro.bench import main as bench_main
+
+        return bench_main(argv[1:])
     args = _build_parser().parse_args(argv)
     handlers = {
         "sizing": _cmd_sizing,

@@ -15,6 +15,7 @@ telemetry null object: un-faulted runs pay one attribute load and a
 from repro.faults.injector import (
     FAULT_SITES,
     FaultInjector,
+    FaultSpec,
     NULL_INJECTOR,
     NullFaultInjector,
 )
@@ -22,6 +23,7 @@ from repro.faults.injector import (
 __all__ = [
     "FAULT_SITES",
     "FaultInjector",
+    "FaultSpec",
     "NULL_INJECTOR",
     "NullFaultInjector",
 ]

@@ -21,8 +21,8 @@ from __future__ import annotations
 
 import random
 import zlib
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.telemetry import NULL_TELEMETRY
@@ -69,6 +69,38 @@ class NullFaultInjector:
 
 NULL_INJECTOR = NullFaultInjector()
 """The singleton every un-faulted component shares."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Picklable recipe for building a :class:`FaultInjector` per run.
+
+    Live injectors hold per-site PRNG streams mid-draw plus a telemetry
+    reference -- state that is not process-safe to share: shipping one
+    injector to N workers would fork its streams and destroy schedule
+    determinism.  A spec instead crosses the process boundary and each
+    worker derives its own injector with ``scope="<label>/<workload>"``,
+    so the fault schedule of a run point depends only on (seed, scope,
+    rates) -- never on which worker ran it or in what order.
+
+    ``rates`` is a tuple of ``(site, rate)`` pairs (a dict is not
+    hashable or deterministic to pickle); :meth:`build` validates the
+    sites and ranges via the :class:`FaultInjector` constructor.
+    """
+
+    seed: int = 0
+    fault_rate: float = 0.0
+    rates: Tuple[Tuple[str, float], ...] = ()
+
+    def build(self, scope: str, telemetry=None) -> "FaultInjector":
+        """Derive the deterministic injector for one run point."""
+        return FaultInjector(
+            seed=self.seed,
+            fault_rate=self.fault_rate,
+            rates=dict(self.rates),
+            scope=scope,
+            telemetry=telemetry,
+        )
 
 
 class FaultInjector:

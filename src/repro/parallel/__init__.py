@@ -1,0 +1,27 @@
+"""Process-parallel sweep execution.
+
+:func:`run_sweep_parallel` fans a (scheme x workload x threshold) grid
+of :class:`RunPoint` s out to worker processes and merges the results
+deterministically -- parallel output is byte-identical to serial
+output for the same seeds.  See :mod:`repro.parallel.executor` for the
+invariants (deterministic merge, sidecar checkpoint journals, crash
+isolation) and DESIGN.md §9 for the architecture.
+"""
+
+from repro.parallel.executor import (
+    ExecOptions,
+    ParallelSweepReport,
+    RunPoint,
+    expand_grid,
+    resolve_workload,
+    run_sweep_parallel,
+)
+
+__all__ = [
+    "ExecOptions",
+    "ParallelSweepReport",
+    "RunPoint",
+    "expand_grid",
+    "resolve_workload",
+    "run_sweep_parallel",
+]

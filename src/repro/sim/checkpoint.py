@@ -24,6 +24,7 @@ Format (DESIGN.md §8)::
 
 from __future__ import annotations
 
+import glob
 import json
 import os
 from typing import Dict, List, Optional, Tuple
@@ -177,3 +178,105 @@ class SweepCheckpoint:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+# ------------------------------------------------------- worker-side journals
+#
+# The parallel executor cannot funnel every worker through one fsynced
+# file descriptor, so each worker process appends result records (the
+# same JSONL shape as the main checkpoint, headerless) to its own
+# sidecar ``<ckpt>.w<k>.jsonl`` (k = worker pid).  The parent absorbs
+# the sidecars into the main checkpoint -- on clean completion and,
+# crucially, on ``--resume`` after a crash, so no durably journaled run
+# is ever re-executed.
+
+
+def worker_journal_path(checkpoint_path: str, worker_id: int) -> str:
+    """The sidecar journal path for one worker of one checkpoint."""
+    return f"{checkpoint_path}.w{worker_id}.jsonl"
+
+
+def worker_journal_paths(checkpoint_path: str) -> List[str]:
+    """Existing sidecar journals for a checkpoint, in sorted order."""
+    return sorted(glob.glob(glob.escape(checkpoint_path) + ".w*.jsonl"))
+
+
+def append_result_record(
+    path: str, scheme: str, workload: str, result_dict: dict
+) -> None:
+    """Durably append one headerless result record to a journal file.
+
+    Opens, fsyncs, and closes per record: worker journals are written
+    once per completed run (seconds apart), and short-lived descriptors
+    survive pool shutdown and crash-isolation restarts.
+    """
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(
+            json.dumps(
+                {
+                    "record": "result",
+                    "scheme": scheme,
+                    "workload": workload,
+                    "result": result_dict,
+                },
+                sort_keys=True,
+            )
+        )
+        fh.write("\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+def load_result_records(
+    path: str,
+) -> Tuple[List[Tuple[str, str, WorkloadResult]], int]:
+    """Tolerantly read result records from a (headerless) journal.
+
+    Returns ``(records, skipped)``; corrupt lines -- the truncated tail
+    of a killed worker -- are counted, never fatal, mirroring
+    :meth:`SweepCheckpoint.resume`.
+    """
+    records: List[Tuple[str, str, WorkloadResult]] = []
+    skipped = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                skipped += 1
+                continue
+            if not isinstance(record, dict) or record.get("record") != "result":
+                skipped += 1
+                continue
+            try:
+                result = WorkloadResult.from_dict(record["result"])
+                key = (str(record["scheme"]), str(record["workload"]))
+            except (KeyError, TypeError, ValueError):
+                skipped += 1
+                continue
+            records.append((key[0], key[1], result))
+    return records, skipped
+
+
+def absorb_worker_journals(checkpoint: SweepCheckpoint) -> Tuple[int, int]:
+    """Merge every sidecar journal into the main checkpoint, then delete.
+
+    Records already present in the checkpoint (a parent that
+    consolidated but died before unlinking) are skipped.  Returns
+    ``(absorbed, skipped_lines)``.
+    """
+    absorbed = 0
+    skipped = 0
+    for path in worker_journal_paths(checkpoint.path):
+        records, bad = load_result_records(path)
+        skipped += bad
+        for scheme, workload, result in records:
+            if checkpoint.has(scheme, workload):
+                continue
+            checkpoint.record(scheme, workload, result)
+            absorbed += 1
+        os.remove(path)
+    return absorbed, skipped

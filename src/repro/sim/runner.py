@@ -111,6 +111,31 @@ def baseline() -> SchemeFactory:
     return NoMitigation
 
 
+SCHEME_BUILDERS: Dict[str, Callable[..., SchemeFactory]] = {
+    "aqua-sram": aqua_sram,
+    "aqua-mm": aqua_memory_mapped,
+    "rrs": rrs,
+    "blockhammer": blockhammer,
+    "victim-refresh": victim_refresh,
+}
+"""Name -> factory builder.  This registry is the picklable currency of
+the parallel executor: a :class:`~repro.parallel.RunPoint` carries only
+the builder *name* and kwargs across the process boundary, and each
+worker rebuilds the (unpicklable) factory closure locally."""
+
+
+def register_scheme_builder(
+    name: str, builder: Callable[..., SchemeFactory]
+) -> None:
+    """Register (or replace) a scheme builder under ``name``.
+
+    Extension hook for experiments and tests; under the default Unix
+    ``fork`` start method, registrations made before the pool spawns
+    are visible inside workers.
+    """
+    SCHEME_BUILDERS[name] = builder
+
+
 def all_workloads(spec_only: bool = False) -> List:
     """The paper's evaluation set: 18 SPEC + 16 mixes (34 workloads)."""
     workloads = [workload(name) for name in SPEC_NAMES]

@@ -36,6 +36,7 @@ from repro.telemetry.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    render_series_table,
 )
 from repro.telemetry.summary import (
     TraceSummary,
@@ -58,6 +59,7 @@ __all__ = [
     "TraceSummary",
     "load_trace",
     "load_trace_lenient",
+    "render_series_table",
     "render_summary",
     "summarize_trace",
     "write_chrome_trace",

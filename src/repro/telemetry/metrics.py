@@ -175,11 +175,43 @@ class Histogram(Metric):
         self._sum.clear()
 
 
+def render_series_table(
+    series: Dict[str, float], hide_buckets: bool = True
+) -> str:
+    """Render a flat ``{series_name: value}`` snapshot as an aligned table.
+
+    Shared by :meth:`MetricsRegistry.render_table` and the parallel
+    sweep path, where worker registries arrive as flat snapshots rather
+    than live objects (see :meth:`MetricsRegistry.merge_flat`).
+    """
+    rows = sorted(series.items())
+    if hide_buckets:
+        rows = [(k, v) for k, v in rows if "_bucket{" not in k]
+    if not rows:
+        return "  (no metrics recorded)"
+    width = max(len(k) for k, _ in rows)
+    lines = []
+    for key, value in rows:
+        rendered = f"{value:g}" if value == int(value) else f"{value:.3f}"
+        lines.append(f"  {key:<{width}}  {rendered}")
+    return "\n".join(lines)
+
+
 class MetricsRegistry:
-    """Names metrics and produces flat snapshots of every series."""
+    """Names metrics and produces flat snapshots of every series.
+
+    Cross-process merging: worker processes cannot share live metric
+    objects with the parent, so they ship ``snapshot()`` dicts back and
+    the parent folds them in with :meth:`merge_flat`.  Merged series
+    accumulate additively (the right semantics for counters and
+    histogram buckets; gauges merged this way become sums, which the
+    parallel runner documents) and appear in :meth:`snapshot` /
+    :meth:`render_table` alongside locally registered series.
+    """
 
     def __init__(self) -> None:
         self._metrics: Dict[str, Metric] = {}
+        self._external: Dict[str, float] = {}
 
     def _get(self, name: str, cls, help: str, **kwargs) -> Metric:
         metric = self._metrics.get(name)
@@ -209,28 +241,35 @@ class MetricsRegistry:
     def metrics(self) -> List[Metric]:
         return list(self._metrics.values())
 
+    def merge_flat(self, series: Dict[str, float]) -> None:
+        """Fold one worker's flat snapshot into this registry.
+
+        Values add into a side table keyed by full series name (the
+        worker's label sets are already baked into the names), so
+        merging N worker snapshots yields the same totals as one
+        process recording everything -- for monotone series.  Merge in
+        a deterministic order (run-key order, not completion order)
+        when byte-stable output matters: float addition is not
+        associative.
+        """
+        for key, value in series.items():
+            self._external[key] = self._external.get(key, 0.0) + float(value)
+
     def snapshot(self) -> Dict[str, float]:
         """Flat ``{series_name: value}`` across every registered metric."""
         out: Dict[str, float] = {}
         for metric in self._metrics.values():
             out.update(metric.series())
+        for key, value in self._external.items():
+            out[key] = out.get(key, 0.0) + value
         return out
 
     def reset(self) -> None:
         """Zero every series (registrations are kept)."""
         for metric in self._metrics.values():
             metric.reset()
+        self._external.clear()
 
     def render_table(self, hide_buckets: bool = True) -> str:
         """Human-readable metrics table for the CLI ``--metrics`` flag."""
-        rows = sorted(self.snapshot().items())
-        if hide_buckets:
-            rows = [(k, v) for k, v in rows if "_bucket{" not in k]
-        if not rows:
-            return "  (no metrics recorded)"
-        width = max(len(k) for k, _ in rows)
-        lines = []
-        for key, value in rows:
-            rendered = f"{value:g}" if value == int(value) else f"{value:.3f}"
-            lines.append(f"  {key:<{width}}  {rendered}")
-        return "\n".join(lines)
+        return render_series_table(self.snapshot(), hide_buckets=hide_buckets)

@@ -1,0 +1,172 @@
+"""The perf harness: schema, regression gate, CLI round trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import bench
+from repro.cli import main as cli_main
+from repro.errors import ConfigError
+from repro.telemetry import MetricsRegistry
+
+
+TINY = bench.BenchCase(
+    "tiny", schemes=("aqua-sram",), workloads=("xz",), epochs=1
+)
+
+
+def make_report(**case_overrides) -> dict:
+    """A schema-valid report without running anything."""
+    case = {
+        "wall_s": 1.0, "acts_per_s": 1e6, "peak_rss_kb": 1000.0,
+        "stages": {}, "runs": 1, "failures": 0,
+    }
+    case.update(case_overrides)
+    return {
+        "schema_version": bench.BENCH_SCHEMA_VERSION,
+        "rev": "test",
+        "timestamp": 0.0,
+        "config_digest": "d" * 64,
+        "cases": {"tiny": case},
+    }
+
+
+class TestRunBench:
+    def test_report_is_schema_valid(self):
+        report = bench.run_bench((TINY,))
+        bench.validate_report(report)  # must not raise
+        case = report["cases"]["tiny"]
+        assert case["wall_s"] > 0
+        assert case["acts_per_s"] > 0
+        assert case["peak_rss_kb"] > 0
+        assert case["failures"] == 0
+        assert set(case["stages"]) == {"expand", "execute", "aggregate"}
+
+    def test_stage_walls_land_in_telemetry_registry(self):
+        registry = MetricsRegistry()
+        bench.run_case(TINY, registry)
+        snapshot = registry.snapshot()
+        assert (
+            snapshot["bench_stage_seconds{case=tiny,stage=execute}"] > 0
+        )
+        assert "bench_acts_per_second{case=tiny}" in snapshot
+
+    def test_config_digest_tracks_the_grid(self):
+        other = bench.BenchCase(
+            "tiny", schemes=("aqua-sram",), workloads=("xz",), epochs=2
+        )
+        assert bench.config_digest((TINY,)) != bench.config_digest((other,))
+        assert bench.config_digest((TINY,)) == bench.config_digest((TINY,))
+
+
+class TestValidateReport:
+    def test_missing_key_rejected(self):
+        report = make_report()
+        del report["config_digest"]
+        with pytest.raises(ConfigError, match="config_digest"):
+            bench.validate_report(report)
+
+    def test_wrong_schema_version_rejected(self):
+        report = make_report()
+        report["schema_version"] = 99
+        with pytest.raises(ConfigError, match="schema_version"):
+            bench.validate_report(report)
+
+    def test_non_numeric_case_field_rejected(self):
+        report = make_report(wall_s="fast")
+        with pytest.raises(ConfigError, match="wall_s"):
+            bench.validate_report(report)
+
+
+class TestCompare:
+    def test_within_tolerance_passes(self):
+        current = make_report(wall_s=1.1)
+        baseline = make_report(wall_s=1.0)
+        regressions, warnings = bench.compare(current, baseline)
+        assert regressions == []
+        assert warnings == []
+
+    def test_regression_detected(self):
+        current = make_report(wall_s=2.0)
+        baseline = make_report(wall_s=1.0)
+        regressions, _ = bench.compare(current, baseline)
+        assert len(regressions) == 1
+        assert "tiny" in regressions[0]
+
+    def test_slack_absorbs_noise_on_tiny_cases(self):
+        # 0.05s vs 0.02s is +150% but far inside the absolute grace.
+        current = make_report(wall_s=0.05)
+        baseline = make_report(wall_s=0.02)
+        regressions, _ = bench.compare(current, baseline)
+        assert regressions == []
+        regressions, _ = bench.compare(
+            current, baseline, slack_s=0.0
+        )
+        assert len(regressions) == 1
+
+    def test_digest_and_case_mismatches_warn_not_fail(self):
+        current = make_report()
+        current["cases"]["extra"] = dict(current["cases"]["tiny"])
+        baseline = make_report()
+        baseline["config_digest"] = "e" * 64
+        baseline["cases"]["gone"] = dict(baseline["cases"]["tiny"])
+        regressions, warnings = bench.compare(current, baseline)
+        assert regressions == []
+        assert len(warnings) == 3  # digest + extra-no-baseline + gone
+
+
+class TestWriteReport:
+    def test_directory_out_names_file_by_rev(self, tmp_path):
+        path = bench.write_report(make_report(), str(tmp_path))
+        assert path.endswith("BENCH_test.json")
+        bench.validate_report(bench.load_report(path))
+
+    def test_explicit_json_path_respected(self, tmp_path):
+        target = tmp_path / "sub" / "baseline.json"
+        path = bench.write_report(make_report(), str(target))
+        assert path == str(target)
+        assert target.exists()
+
+    def test_load_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            bench.load_report(str(bad))
+        with pytest.raises(ConfigError, match="cannot read"):
+            bench.load_report(str(tmp_path / "missing.json"))
+
+
+class TestBenchCli:
+    def test_quick_bench_emits_schema_valid_json(self, tmp_path, capsys):
+        assert cli_main(["bench", "--quick", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "bench_stage_seconds" in out
+        written = list(tmp_path.glob("BENCH_*.json"))
+        assert len(written) == 1
+        report = bench.load_report(str(written[0]))
+        assert set(report["cases"]) == {
+            case.name for case in bench.QUICK_CASES
+        }
+
+    def test_check_fails_on_regression_and_names_escape_hatch(
+        self, tmp_path, capsys
+    ):
+        baseline = make_report(wall_s=1e-9)
+        baseline["config_digest"] = bench.config_digest(bench.QUICK_CASES)
+        baseline["cases"] = {
+            case.name: dict(wall_s=1e-9, acts_per_s=1.0, peak_rss_kb=1.0)
+            for case in bench.QUICK_CASES
+        }
+        baseline_path = tmp_path / "BENCH_baseline.json"
+        baseline_path.write_text(json.dumps(baseline))
+        code = cli_main(
+            ["bench", "--quick", "--out", str(tmp_path / "out"),
+             "--check", str(baseline_path),
+             "--tolerance", "0", "--slack", "0"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "PERF REGRESSION" in out
+        assert "--update-baseline" in out  # the documented escape hatch

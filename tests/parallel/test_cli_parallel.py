@@ -1,0 +1,78 @@
+"""CLI surface of the parallel executor: --jobs, --out, resume."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestJobsValidation:
+    def test_zero_jobs_is_a_clean_parser_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--jobs", "0"])
+        assert excinfo.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_negative_jobs_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--jobs", "-2"])
+        assert excinfo.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_non_integer_jobs_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--jobs", "many"])
+        assert excinfo.value.code == 2
+        assert "not an integer" in capsys.readouterr().err
+
+
+class TestParallelSweep:
+    BASE = ["sweep", "--scheme", "aqua-sram", "--workloads", "xz", "wrf",
+            "--epochs", "1", "--seed", "7"]
+
+    def test_out_files_byte_identical_across_jobs(self, tmp_path, capsys):
+        serial = tmp_path / "serial.json"
+        parallel = tmp_path / "parallel.json"
+        assert main(self.BASE + ["--jobs", "1", "--out", str(serial)]) == 0
+        assert main(self.BASE + ["--jobs", "2", "--out", str(parallel)]) == 0
+        assert serial.read_bytes() == parallel.read_bytes()
+
+    def test_out_json_shape(self, tmp_path, capsys):
+        out = tmp_path / "results.json"
+        assert main(self.BASE + ["--out", str(out)]) == 0
+        document = json.loads(out.read_text())
+        assert document["meta"] == {
+            "scheme": "aqua-sram", "trh": 1000, "epochs": 1, "seed": 7,
+        }
+        assert [r["workload"] for r in document["results"]] == ["xz", "wrf"]
+        assert document["failures"] == []
+        assert "slowdown" in document["results"][0]["result"]
+
+    def test_parallel_resume_prints_resumed(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt.jsonl"
+        partial = ["sweep", "--scheme", "aqua-sram", "--workloads", "xz",
+                   "--epochs", "1", "--seed", "7",
+                   "--checkpoint", str(ckpt)]
+        assert main(partial) == 0
+        capsys.readouterr()
+        assert main(self.BASE + ["--jobs", "2", "--resume", str(ckpt)]) == 0
+        out = capsys.readouterr().out
+        assert "(resumed)" in out
+
+    def test_jobs_header_is_reported(self, capsys):
+        assert main(
+            ["sweep", "--scheme", "aqua-sram", "--workloads", "xz",
+             "--epochs", "1", "--jobs", "2"]
+        ) == 0
+        assert "2 jobs" in capsys.readouterr().out
+
+    def test_parallel_metrics_table_matches_serial_format(self, capsys):
+        args = ["sweep", "--scheme", "aqua-sram", "--workloads", "xz",
+                "--epochs", "1", "--metrics", "--jobs", "2"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "metrics [xz]:" in out
+        assert "scheme_accesses_total{scheme=aqua}" in out
