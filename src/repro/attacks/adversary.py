@@ -50,6 +50,31 @@ class AttackReport:
             return 1.0
         return self.elapsed_ns / self.unimpeded_ns
 
+    def to_dict(self) -> dict:
+        """JSON-ready dict (``repro attack --out``, service submissions).
+
+        Derived verdicts (``succeeded``, ``slowdown``) are included so
+        a cached report is judgeable without rebuilding the object.
+        """
+        return {
+            "scheme": self.scheme,
+            "activations": self.activations,
+            "elapsed_ns": self.elapsed_ns,
+            "unimpeded_ns": self.unimpeded_ns,
+            "flips": [
+                {
+                    "row": flip.row,
+                    "time_ns": flip.time_ns,
+                    "disturbance": flip.disturbance,
+                }
+                for flip in self.flips
+            ],
+            "peak_row_activations": self.peak_row_activations,
+            "migrations": self.migrations,
+            "succeeded": self.succeeded,
+            "slowdown": self.slowdown,
+        }
+
 
 class AttackHarness:
     """Replay attack patterns through a scheme with full instrumentation."""

@@ -13,6 +13,10 @@ Subcommands::
     python -m repro bench   --quick               # perf harness (BENCH json)
     python -m repro attack  --scheme aqua --pattern half-double
     python -m repro inspect out.jsonl             # summarize a trace
+    python -m repro serve   --port 8343           # simulation job server
+    python -m repro submit  --scheme aqua-mm --workloads gcc --wait
+    python -m repro status                        # job table from a server
+    python -m repro fetch   j1-ab12cd34ef56 --out results.json
 
 Each prints a compact report to stdout; exit code 0 on success.
 
@@ -20,12 +24,19 @@ Each prints a compact report to stdout; exit code 0 on success.
 (:mod:`repro.parallel`); ``--jobs 1`` (the default) executes inline,
 and any ``--jobs N`` produces byte-identical ``--out`` files for the
 same seeds (CI diffs ``--jobs 1`` against ``--jobs 4`` on every PR).
+
+``serve``/``submit``/``status``/``fetch`` drive :mod:`repro.service`:
+a ``submit`` of the same spec twice is served from the server's
+content-addressed cache, and a fetched result is byte-identical to
+what ``repro sweep --out`` writes for the same parameters.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
+import sys
 from typing import List, Optional
 
 from repro.analysis.storage import table_vii
@@ -35,10 +46,27 @@ from repro.core.aqua import AquaMitigation
 from repro.core.config import AquaConfig
 from repro.core.sizing import RqaSizing
 from repro.dram.geometry import DramGeometry
-from repro.errors import ConfigError
+from repro.errors import (
+    ConfigError,
+    JobNotFoundError,
+    QueueFullError,
+    ServiceError,
+)
 from repro.faults import FaultInjector
 from repro.mitigations.victim_refresh import VictimRefresh
-from repro.parallel import expand_grid, run_sweep_parallel
+from repro.parallel import (
+    build_results_document,
+    expand_grid,
+    run_sweep_parallel,
+    write_results_document,
+)
+from repro.service import (
+    DEFAULT_PORT,
+    JobSpec,
+    ServiceClient,
+    SimulationService,
+    serve_async,
+)
 from repro.sim import runner
 from repro.sim.checkpoint import SweepCheckpoint
 from repro.telemetry import (
@@ -173,12 +201,82 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     attack.add_argument("--seed", type=int, default=0xB5,
                         help="pattern-generation seed (blacksmith fuzzing)")
+    attack.add_argument("--out", metavar="PATH", default=None,
+                        help="also write the report as JSON to PATH")
 
     inspect = sub.add_parser(
         "inspect", help="summarize an exported event trace"
     )
     inspect.add_argument("trace", metavar="PATH",
                          help="trace file (JSONL or Chrome trace-event)")
+
+    serve = sub.add_parser(
+        "serve", help="run the simulation job server (repro.service)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=DEFAULT_PORT,
+                       help=f"listen port (default {DEFAULT_PORT}; 0 = "
+                            f"ephemeral)")
+    serve.add_argument("--store", metavar="PATH",
+                       default="service-jobs.jsonl",
+                       help="append-only job journal (crash recovery)")
+    serve.add_argument("--cache-dir", metavar="DIR", default="service-cache",
+                       help="content-addressed result cache directory")
+    serve.add_argument("--max-depth", type=_positive_int, default=64,
+                       metavar="N",
+                       help="queue depth before submissions are refused "
+                            "with HTTP 429 (default 64)")
+    serve.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                       help="worker processes per sweep (the repro.parallel "
+                            "bridge; default 1)")
+
+    submit = sub.add_parser(
+        "submit", help="submit a sweep to a running server"
+    )
+    submit.add_argument("--scheme", choices=sorted(SCHEME_FACTORIES),
+                        default="aqua-mm")
+    submit.add_argument("--trh", type=int, default=1000)
+    submit.add_argument("--epochs", type=_positive_int, default=2)
+    submit.add_argument("--workloads", nargs="*",
+                        default=["lbm", "gcc", "xz"], metavar="NAME",
+                        help=f"choose from {SPEC_NAMES}")
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--timeout", type=float, default=0.0, metavar="SEC",
+                        help="per-run wall-clock timeout (0 = unbounded)")
+    submit.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="per-run transient-failure retries")
+    submit.add_argument("--priority", type=int, default=10,
+                        help="lower runs first (default 10)")
+    submit.add_argument("--max-attempts", type=_positive_int, default=1,
+                        metavar="N",
+                        help="job-level attempts before it is failed")
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=DEFAULT_PORT)
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job finishes")
+    submit.add_argument("--wait-timeout", type=float, default=600.0,
+                        metavar="SEC")
+    submit.add_argument("--out", metavar="PATH", default=None,
+                        help="with --wait: write the fetched result "
+                             "document to PATH (byte-identical to "
+                             "'repro sweep --out')")
+
+    status = sub.add_parser(
+        "status", help="show jobs on a running server"
+    )
+    status.add_argument("job_id", nargs="?", default=None, metavar="JOB",
+                        help="one job's detail (default: table of all)")
+    status.add_argument("--host", default="127.0.0.1")
+    status.add_argument("--port", type=int, default=DEFAULT_PORT)
+
+    fetch = sub.add_parser(
+        "fetch", help="download a finished job's result document"
+    )
+    fetch.add_argument("job_id", metavar="JOB")
+    fetch.add_argument("--out", metavar="PATH", default=None,
+                       help="write to PATH (default: stdout)")
+    fetch.add_argument("--host", default="127.0.0.1")
+    fetch.add_argument("--port", type=int, default=DEFAULT_PORT)
     return parser
 
 
@@ -209,34 +307,12 @@ def _cmd_storage(args) -> int:
 def _write_results_json(path, meta, points, report) -> None:
     """Canonical results JSON: run-key order, sorted keys, stable bytes.
 
-    The parallel-determinism CI step diffs this file across ``--jobs``
-    values, so everything here must be a pure function of the sweep's
-    inputs -- no timestamps, hostnames, or completion-order artifacts.
+    Delegates to :mod:`repro.parallel.results`, the same builder the
+    service cache uses -- which is why a fetched service result diffs
+    clean against this file, and why the parallel-determinism CI step
+    can diff it across ``--jobs`` values.
     """
-    document = {
-        "meta": dict(meta),
-        "results": [
-            {
-                "scheme": point.label,
-                "workload": point.workload,
-                "result": report.results[point.key].to_dict(),
-            }
-            for point in points
-            if point.key in report.results
-        ],
-        "failures": [
-            {
-                "scheme": failure.scheme,
-                "workload": failure.workload,
-                "error": failure.error,
-                "attempts": failure.attempts,
-            }
-            for failure in report.failures
-        ],
-    }
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(document, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    write_results_document(path, build_results_document(meta, points, report))
 
 
 def _cmd_sweep(args) -> int:
@@ -482,6 +558,17 @@ def _cmd_attack(args) -> int:
     print(f"  mitigations:          {report.migrations}")
     print(f"  peak row ACTs/64ms:   {report.peak_row_activations}")
     print(f"  attack slowdown:      {report.slowdown:.2f}x")
+    if args.out:
+        document = {
+            "pattern": args.pattern,
+            "seed": args.seed,
+            "trh": ATTACK_TRH,
+            "report": report.to_dict(),
+        }
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote report to {args.out}")
     if report.succeeded:
         rows = ", ".join(str(f.row) for f in report.flips)
         print(f"  RESULT: BIT FLIPS at physical rows {rows}")
@@ -491,11 +578,137 @@ def _cmd_attack(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    try:
+        service = SimulationService.open(
+            args.store,
+            args.cache_dir,
+            max_depth=args.max_depth,
+            jobs=args.jobs,
+        )
+    except ConfigError as exc:
+        print(f"error: cannot open service state: {exc}")
+        return 2
+    recovered = service.queue.depth
+    print(f"repro service: store={args.store} cache={args.cache_dir} "
+          f"max-depth={args.max_depth} jobs={args.jobs}"
+          + (f" ({recovered} job(s) recovered)" if recovered else ""),
+          flush=True)
+
+    def on_ready(server) -> None:
+        print(f"serving on http://{server.host}:{server.port} "
+              f"(SIGTERM drains gracefully)", flush=True)
+
+    asyncio.run(
+        serve_async(
+            service, host=args.host, port=args.port, on_ready=on_ready
+        )
+    )
+    print("drained cleanly; queued work (if any) resumes on next start")
+    return 0
+
+
+def _print_job_line(job: dict) -> None:
+    cached = " (cached)" if job.get("from_cache") else ""
+    error = f"  error: {job['error']}" if job.get("error") else ""
+    print(f"  {job['id']:>28s}  {job['state']:>7s}{cached}"
+          f"  attempts={job.get('attempts', 0)}{error}")
+
+
+def _cmd_submit(args) -> int:
+    spec = JobSpec(
+        scheme=args.scheme,
+        workloads=tuple(args.workloads),
+        trh=args.trh,
+        epochs=args.epochs,
+        seed=args.seed,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        priority=args.priority,
+        max_attempts=args.max_attempts,
+    )
+    client = ServiceClient(args.host, args.port)
+    try:
+        accepted = client.submit(spec)
+    except QueueFullError as exc:
+        print(f"error: server refused the job (backpressure): {exc}")
+        return 1
+    except (ConfigError, ServiceError) as exc:
+        print(f"error: {exc}")
+        return 2
+    job = accepted["job"]
+    hit = "cache hit" if accepted.get("cached") else "queued"
+    print(f"submitted {job['id']} [{hit}] digest={job['digest'][:16]}")
+    if not args.wait:
+        return 0
+    try:
+        job = client.wait(job["id"], timeout_s=args.wait_timeout)
+    except ServiceError as exc:
+        print(f"error: {exc}")
+        return 1
+    _print_job_line(job)
+    if job["state"] != "done":
+        return 1
+    if args.out:
+        try:
+            text = client.result_text(job["id"])
+        except ServiceError as exc:
+            print(f"error: {exc}")
+            return 1
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote result document to {args.out}")
+    return 0
+
+
+def _cmd_status(args) -> int:
+    client = ServiceClient(args.host, args.port)
+    try:
+        if args.job_id:
+            job = client.job(args.job_id)
+            print(json.dumps(job, indent=2, sort_keys=True))
+            return 0
+        health = client.health()
+        jobs = client.jobs()
+    except JobNotFoundError as exc:
+        print(f"error: {exc}")
+        return 2
+    except ServiceError as exc:
+        print(f"error: {exc}")
+        return 2
+    counts = ", ".join(
+        f"{state}={count}"
+        for state, count in sorted(health.get("jobs", {}).items())
+    ) or "none"
+    print(f"service {health.get('status')}: "
+          f"queue depth {health.get('queue_depth')}, jobs: {counts}")
+    for job in jobs:
+        _print_job_line(job)
+    return 0
+
+
+def _cmd_fetch(args) -> int:
+    client = ServiceClient(args.host, args.port)
+    try:
+        text = client.result_text(args.job_id)
+    except JobNotFoundError as exc:
+        print(f"error: {exc}")
+        return 2
+    except ServiceError as exc:
+        print(f"error: {exc}")
+        return 1
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote result document to {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     if argv is None:
-        import sys
-
         argv = sys.argv[1:]
     if argv and argv[0] == "bench":
         # The bench harness owns its option surface (it is also
@@ -512,6 +725,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "chaos": _cmd_chaos,
         "attack": _cmd_attack,
         "inspect": _cmd_inspect,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+        "fetch": _cmd_fetch,
     }
     return handlers[args.command](args)
 

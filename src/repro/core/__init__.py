@@ -11,6 +11,11 @@ Public surface:
 
 from repro.core.aqua import AquaMitigation
 from repro.core.bloom import ResettableBloomFilter
+from repro.core.canon import (
+    canonical_dumps,
+    content_digest,
+    short_digest,
+)
 from repro.core.cat import CollisionAvoidanceTable, TableOverflowError
 from repro.core.config import AquaConfig
 from repro.core.fpt import DramForwardPointerTable, ForwardPointerTable

@@ -1,0 +1,84 @@
+"""Canonical serialization: one byte representation per value.
+
+The service's content-addressed result cache, the sweep checkpoint
+journal, and the job store all need the same property: serializing the
+same logical value twice -- in different processes, on different days --
+must produce the *same bytes*, because those bytes are hashed into
+cache keys and diffed by CI.  ``json.dumps`` alone does not guarantee
+that (key order and separators are caller choices), so every record
+that is hashed or diffed goes through :func:`canonical_dumps`.
+
+Rules:
+
+* keys sorted, separators fixed (``","``/``":"``), ASCII-only output;
+* only JSON-native types plus tuples (normalized to lists); anything
+  else is a :class:`~repro.errors.ConfigError` at serialization time,
+  not a silent ``repr`` fallback that would destabilize digests;
+* ``NaN``/``Infinity`` rejected (they are not JSON and round-trip
+  differently across parsers).
+
+:func:`content_digest` is the SHA-256 of the canonical encoding; the
+first 16 hex characters (:func:`short_digest`) are what job IDs and
+log lines display.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Any
+
+from repro.errors import ConfigError
+
+DIGEST_ABBREV = 16
+"""Hex characters shown by :func:`short_digest` (64-bit prefix)."""
+
+
+def _normalize(value: Any) -> Any:
+    """Reduce ``value`` to JSON-native types, rejecting the rest."""
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        if math.isnan(value) or math.isinf(value):
+            raise ConfigError(
+                f"canonical serialization rejects non-finite float {value!r}"
+            )
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_normalize(item) for item in value]
+    if isinstance(value, dict):
+        normalized = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise ConfigError(
+                    f"canonical serialization requires str keys "
+                    f"(got {type(key).__name__} key {key!r})"
+                )
+            normalized[key] = _normalize(item)
+        return normalized
+    raise ConfigError(
+        f"canonical serialization cannot encode {type(value).__name__} "
+        f"value {value!r}; convert it with to_dict() first"
+    )
+
+
+def canonical_dumps(value: Any) -> str:
+    """Serialize ``value`` to its one canonical JSON string."""
+    return json.dumps(
+        _normalize(value),
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+    )
+
+
+def content_digest(value: Any) -> str:
+    """SHA-256 hex digest of the canonical encoding of ``value``."""
+    return hashlib.sha256(canonical_dumps(value).encode("ascii")).hexdigest()
+
+
+def short_digest(value: Any) -> str:
+    """First :data:`DIGEST_ABBREV` hex chars of :func:`content_digest`."""
+    return content_digest(value)[:DIGEST_ABBREV]

@@ -9,7 +9,7 @@ filter, 4K-entry (16 KB) FPT-Cache, Misra-Gries tracker.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Optional
 
 from repro.core.fpt import DEFAULT_FPT_CAPACITY, DramForwardPointerTable
@@ -118,6 +118,41 @@ class AquaConfig:
                 f" + tables {self.table_dram_rows:,}) must be smaller than "
                 f"the rank of {self.geometry.rows_per_rank:,} rows"
             )
+
+    # --------------------------------------------------------- serialization
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-ready dict of every *configured* field.
+
+        Derived quantities (Equation-3 sizing, table rows) are excluded
+        on purpose: they are pure functions of these fields, and the
+        dict is hashed by :func:`repro.core.canon.content_digest` into
+        the service cache key, where redundant entries would only widen
+        the surface on which two equal configurations could disagree.
+        Geometry and timing are inlined as sorted dicts of their own
+        (all-primitive) fields.
+        """
+        return {
+            "rowhammer_threshold": self.rowhammer_threshold,
+            "geometry": asdict(self.geometry),
+            "timing": asdict(self.timing),
+            "table_mode": self.table_mode,
+            "tracker": self.tracker,
+            "rqa_slots": self.rqa_slots,
+            "fpt_capacity": self.fpt_capacity,
+            "bloom_group_size": self.bloom_group_size,
+            "fpt_cache_entries": self.fpt_cache_entries,
+            "tracker_entries_per_bank": self.tracker_entries_per_bank,
+            "track_data": self.track_data,
+            "rqa_full_policy": self.rqa_full_policy,
+            "migration_max_retries": self.migration_max_retries,
+        }
+
+    def digest(self) -> str:
+        """Stable content digest of this configuration (cache keys)."""
+        from repro.core.canon import content_digest
+
+        return content_digest(self.to_dict())
 
     @property
     def effective_threshold(self) -> int:

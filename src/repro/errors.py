@@ -54,3 +54,20 @@ class FaultExhaustedError(SimulationError):
     migration) exhausted its retries *and* the configured policy forbids
     falling back further (``rqa_full_policy="fail"``).
     """
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The simulation job service could not honor a request."""
+
+
+class QueueFullError(ServiceError):
+    """The job queue is at ``max_depth``; backpressure to the client.
+
+    Mapped to HTTP 429 by the API layer.  Deliberately *not* a
+    :class:`ConfigError`: the submission itself is valid, the server is
+    momentarily saturated, and the client may retry later.
+    """
+
+
+class JobNotFoundError(ServiceError):
+    """No job (or cached result) exists under the requested ID."""

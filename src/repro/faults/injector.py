@@ -102,6 +102,38 @@ class FaultSpec:
             telemetry=telemetry,
         )
 
+    # --------------------------------------------------------- serialization
+    #
+    # A spec is part of a service job's identity: two submissions with
+    # different fault schedules must hash to different cache keys, so
+    # the dict form is canonical (sorted rate pairs) and round-trips
+    # exactly.
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-ready dict (inverse of :meth:`from_dict`)."""
+        return {
+            "seed": self.seed,
+            "fault_rate": self.fault_rate,
+            "rates": [
+                [site, rate] for site, rate in sorted(self.rates)
+            ],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "FaultSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        try:
+            rates = tuple(
+                (str(site), float(rate)) for site, rate in data.get("rates", [])
+            )
+            return FaultSpec(
+                seed=int(data.get("seed", 0)),
+                fault_rate=float(data.get("fault_rate", 0.0)),
+                rates=rates,
+            )
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(f"malformed FaultSpec dict: {exc}") from exc
+
 
 class FaultInjector:
     """Deterministic per-site fault scheduler.

@@ -6,6 +6,10 @@ deterministically -- parallel output is byte-identical to serial
 output for the same seeds.  See :mod:`repro.parallel.executor` for the
 invariants (deterministic merge, sidecar checkpoint journals, crash
 isolation) and DESIGN.md §9 for the architecture.
+
+:mod:`repro.parallel.results` renders the canonical results document
+shared by ``repro sweep --out``, the service result cache, and the CI
+determinism diffs.
 """
 
 from repro.parallel.executor import (
@@ -16,12 +20,20 @@ from repro.parallel.executor import (
     resolve_workload,
     run_sweep_parallel,
 )
+from repro.parallel.results import (
+    build_results_document,
+    render_results_document,
+    write_results_document,
+)
 
 __all__ = [
     "ExecOptions",
     "ParallelSweepReport",
     "RunPoint",
+    "build_results_document",
     "expand_grid",
+    "render_results_document",
     "resolve_workload",
     "run_sweep_parallel",
+    "write_results_document",
 ]

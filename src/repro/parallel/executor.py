@@ -85,6 +85,45 @@ class RunPoint:
         """Fault-seed scope: per run point, never per process."""
         return f"{self.label}/{self.workload}"
 
+    def to_dict(self) -> dict:
+        """Canonical JSON-ready dict (inverse of :meth:`from_dict`).
+
+        This is the unit the service hashes into cache keys, so the
+        field set must stay in lockstep with what actually determines a
+        run's output -- adding a behavior-changing field here without
+        including it in the dict would make distinct runs collide.
+        """
+        return {
+            "label": self.label,
+            "scheme": self.scheme,
+            "workload": self.workload,
+            "threshold": self.threshold,
+            "epochs": self.epochs,
+            "seed": self.seed,
+            "scheme_kwargs": [
+                [key, value] for key, value in self.scheme_kwargs
+            ],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "RunPoint":
+        """Rebuild a run point from :meth:`to_dict` output."""
+        try:
+            return RunPoint(
+                label=str(data["label"]),
+                scheme=str(data["scheme"]),
+                workload=str(data["workload"]),
+                threshold=int(data["threshold"]),
+                epochs=int(data["epochs"]),
+                seed=int(data["seed"]),
+                scheme_kwargs=tuple(
+                    (str(key), value)
+                    for key, value in data.get("scheme_kwargs", [])
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(f"malformed RunPoint dict: {exc}") from exc
+
 
 def expand_grid(
     schemes: Sequence[str],
@@ -278,12 +317,30 @@ def _run_pool(
     if not implicated:
         return payloads
     # Crash isolation: a dead worker broke the shared pool, poisoning
-    # every in-flight future.  Re-run each implicated point alone in a
+    # every in-flight future.  Before re-running anything, salvage runs
+    # that finished and were durably journaled to a sidecar but whose
+    # futures were poisoned before reporting -- re-executing those
+    # would both waste work and double-count against the checkpoint.
+    # (Salvaged payloads carry the result only; per-run metrics/trace
+    # payloads died with the worker, exactly as for resumed runs.)
+    journaled: Dict[RunKey, dict] = {}
+    if journal_base is not None:
+        for path in ckpt.worker_journal_paths(journal_base):
+            records, _ = ckpt.load_result_records(path)
+            for scheme, workload, result in records:
+                journaled[(scheme, workload)] = result.to_dict()
+    # Then re-run each remaining implicated point alone in a
     # single-worker pool (original order): bystanders complete, and the
     # point whose run genuinely kills its process is blamed for certain.
     blamed = {point.key for point in implicated}
     for point in pending:
         if point.key not in blamed or point.key in payloads:
+            continue
+        if point.key in journaled:
+            payloads[point.key] = {
+                "status": "ok",
+                "result": journaled[point.key],
+            }
             continue
         try:
             with ProcessPoolExecutor(

@@ -1,0 +1,53 @@
+"""repro.service: the async simulation job server.
+
+The first subsystem on the roadmap's serving pillar: instead of a
+one-shot CLI process per experiment, a long-running server accepts
+(scheme x workload) sweep submissions over HTTP, dedupes identical
+work through a content-addressed result cache, journals every job to a
+crash-safe store, and dispatches execution through the existing
+:mod:`repro.parallel` process pool.
+
+* :class:`~repro.service.jobs.JobSpec` / ``Job`` -- work identity and
+  lifecycle; the spec's canonical digest is the cache key.
+* :class:`~repro.service.queue.JobQueue` -- bounded priority queue
+  with backpressure (HTTP 429 past ``max_depth``).
+* :class:`~repro.service.cache.ResultCache` -- one canonical result
+  document per digest; hits are byte-identical to cold runs.
+* :class:`~repro.service.store.JobStore` -- fsynced JSONL journal;
+  restart re-enqueues unfinished jobs exactly once.
+* :class:`~repro.service.api.SimulationService` + ``ServiceServer`` --
+  the orchestrator and its stdlib-only HTTP JSON API.
+* :class:`~repro.service.client.ServiceClient` -- the blocking client
+  behind ``repro submit``/``status``/``fetch``.
+
+See DESIGN.md §10 for the architecture and durability guarantees.
+"""
+
+from repro.service.api import (
+    BackgroundServer,
+    ServiceServer,
+    SimulationService,
+    serve_async,
+    wait_for_port,
+)
+from repro.service.cache import ResultCache
+from repro.service.client import DEFAULT_PORT, ServiceClient
+from repro.service.jobs import DEFAULT_PRIORITY, Job, JobSpec
+from repro.service.queue import JobQueue
+from repro.service.store import JobStore
+
+__all__ = [
+    "BackgroundServer",
+    "DEFAULT_PORT",
+    "DEFAULT_PRIORITY",
+    "Job",
+    "JobQueue",
+    "JobSpec",
+    "JobStore",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceServer",
+    "SimulationService",
+    "serve_async",
+    "wait_for_port",
+]

@@ -1,0 +1,100 @@
+"""Content-addressed result cache.
+
+One file per result document, named by the job spec's canonical digest
+(``<sha256>.json``).  The stored bytes are exactly the canonical
+rendering of :mod:`repro.parallel.results` -- what ``repro sweep --out``
+writes -- so a cache hit is byte-identical to a cold run by storage
+format, not by re-serialization luck.
+
+Writes are atomic (temp file + ``os.replace``) and fsynced, matching
+the checkpoint journal's durability discipline: a crash mid-``put``
+leaves either the complete previous entry or none, never a torn file
+that a later ``get`` would serve.
+
+Hit/miss accounting is deliberately split between two read paths:
+:meth:`get` counts (it is the *submission dedup* path whose hit ratio
+the ``service-smoke`` CI job asserts), :meth:`peek` does not (it backs
+result fetches for already-completed jobs, which would otherwise
+inflate the hit rate with every poll).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import tempfile
+from typing import List, Optional
+
+from repro.errors import ConfigError
+from repro.telemetry import NULL_TELEMETRY
+
+_KEY_RE = re.compile(r"^[0-9a-f]{16,64}$")
+
+
+class ResultCache:
+    """Directory of canonical result documents keyed by content digest."""
+
+    def __init__(self, root: str, telemetry=None) -> None:
+        self.root = root
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        os.makedirs(root, exist_ok=True)
+
+    def path(self, key: str) -> str:
+        """Filesystem path of one entry (validating the key shape so a
+        malicious or mangled key can never traverse out of the root)."""
+        if not _KEY_RE.match(key):
+            raise ConfigError(f"malformed cache key {key!r}")
+        return os.path.join(self.root, f"{key}.json")
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self.path(key))
+
+    def get(self, key: str) -> Optional[str]:
+        """The cached document text, counting a hit or a miss."""
+        try:
+            with open(self.path(key), "r", encoding="utf-8") as fh:
+                text = fh.read()
+        except FileNotFoundError:
+            self.telemetry.inc("service_cache_misses_total")
+            return None
+        self.telemetry.inc("service_cache_hits_total")
+        return text
+
+    def peek(self, key: str) -> Optional[str]:
+        """The cached document text, without touching the counters."""
+        try:
+            with open(self.path(key), "r", encoding="utf-8") as fh:
+                return fh.read()
+        except FileNotFoundError:
+            return None
+
+    def put(self, key: str, text: str) -> None:
+        """Atomically, durably store one document."""
+        target = self.path(key)
+        fd, tmp = tempfile.mkstemp(
+            prefix=f".{key[:16]}.", suffix=".tmp", dir=self.root
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(text)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except FileNotFoundError:
+                pass
+            raise
+        self.telemetry.inc("service_cache_writes_total")
+
+    def keys(self) -> List[str]:
+        """Digests of every stored entry, sorted."""
+        return sorted(
+            name[: -len(".json")]
+            for name in os.listdir(self.root)
+            if name.endswith(".json") and _KEY_RE.match(name[: -len(".json")])
+        )
+
+
+__all__ = ["ResultCache"]

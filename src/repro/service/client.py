@@ -1,0 +1,153 @@
+"""Blocking HTTP client for the simulation service.
+
+Stdlib-only (``http.client``), one connection per request to match the
+server's ``Connection: close`` contract.  Errors map back onto the
+repo's exception hierarchy: 400 -> :class:`~repro.errors.ConfigError`,
+404 -> :class:`~repro.errors.JobNotFoundError`, 429 ->
+:class:`~repro.errors.QueueFullError`, everything else ->
+:class:`~repro.errors.ServiceError` -- so CLI verbs and tests handle
+service failures exactly like local ones.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import (
+    ConfigError,
+    JobNotFoundError,
+    QueueFullError,
+    ServiceError,
+)
+from repro.service.jobs import JobSpec
+
+DEFAULT_PORT = 8343
+
+TERMINAL_STATES = ("done", "failed")
+
+
+class ServiceClient:
+    """Talk to one ``repro serve`` instance."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout_s: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------- plumbing
+
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> Tuple[int, bytes]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            payload = (
+                json.dumps(body).encode("utf-8") if body is not None else None
+            )
+            headers = {"Content-Type": "application/json"} if payload else {}
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            return response.status, response.read()
+        except (ConnectionError, OSError) as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.host}:{self.port}: {exc}"
+            ) from exc
+        finally:
+            connection.close()
+
+    @staticmethod
+    def _json(status: int, raw: bytes) -> dict:
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ServiceError(
+                f"service returned unparseable body (HTTP {status})"
+            ) from exc
+        if not isinstance(data, dict):
+            raise ServiceError(f"unexpected service payload (HTTP {status})")
+        return data
+
+    @classmethod
+    def _raise_for(cls, status: int, raw: bytes) -> None:
+        message = cls._json(status, raw).get("error", f"HTTP {status}")
+        if status == 400:
+            raise ConfigError(message)
+        if status == 404:
+            raise JobNotFoundError(message)
+        if status == 429:
+            raise QueueFullError(message)
+        raise ServiceError(f"HTTP {status}: {message}")
+
+    # --------------------------------------------------------------- verbs
+
+    def health(self) -> dict:
+        status, raw = self._request("GET", "/v1/healthz")
+        if status != 200:
+            self._raise_for(status, raw)
+        return self._json(status, raw)
+
+    def metrics(self) -> Dict[str, float]:
+        status, raw = self._request("GET", "/v1/metrics")
+        if status != 200:
+            self._raise_for(status, raw)
+        return self._json(status, raw).get("metrics", {})
+
+    def submit(self, spec: Union[JobSpec, dict]) -> dict:
+        """Submit one job; returns ``{"job": {...}, "cached": bool}``."""
+        body = spec.to_dict() if isinstance(spec, JobSpec) else dict(spec)
+        status, raw = self._request("POST", "/v1/jobs", {"spec": body})
+        if status not in (200, 201):
+            self._raise_for(status, raw)
+        return self._json(status, raw)
+
+    def jobs(self) -> List[dict]:
+        status, raw = self._request("GET", "/v1/jobs")
+        if status != 200:
+            self._raise_for(status, raw)
+        return self._json(status, raw).get("jobs", [])
+
+    def job(self, job_id: str) -> dict:
+        status, raw = self._request("GET", f"/v1/jobs/{job_id}")
+        if status != 200:
+            self._raise_for(status, raw)
+        return self._json(status, raw)["job"]
+
+    def result_text(self, job_id: str) -> str:
+        """The job's result document, byte-for-byte as the server
+        stores it (callers write it out verbatim)."""
+        status, raw = self._request("GET", f"/v1/jobs/{job_id}/result")
+        if status != 200:
+            self._raise_for(status, raw)
+        return raw.decode("utf-8")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout_s: float = 300.0,
+        poll_s: float = 0.2,
+    ) -> dict:
+        """Poll until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            job = self.job(job_id)
+            if job.get("state") in TERMINAL_STATES:
+                return job
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {job.get('state')!r} after "
+                    f"{timeout_s:g}s"
+                )
+            time.sleep(poll_s)
+
+
+__all__ = ["DEFAULT_PORT", "ServiceClient", "TERMINAL_STATES"]

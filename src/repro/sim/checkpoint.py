@@ -29,6 +29,7 @@ import json
 import os
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.canon import canonical_dumps
 from repro.errors import ConfigError, SimulationError
 from repro.sim.stats import WorkloadResult
 
@@ -145,7 +146,7 @@ class SweepCheckpoint:
         fh = self._fh
         if fh is None:
             raise SimulationError(f"checkpoint {self.path!r} is closed")
-        fh.write(json.dumps(record, sort_keys=True))
+        fh.write(canonical_dumps(record))
         fh.write("\n")
         # Crash safety: the record must be durable before the runner
         # moves on, or a kill could lose a finished run.
@@ -212,14 +213,13 @@ def append_result_record(
     """
     with open(path, "a", encoding="utf-8") as fh:
         fh.write(
-            json.dumps(
+            canonical_dumps(
                 {
                     "record": "result",
                     "scheme": scheme,
                     "workload": workload,
                     "result": result_dict,
-                },
-                sort_keys=True,
+                }
             )
         )
         fh.write("\n")

@@ -1,0 +1,122 @@
+"""Canonical serialization: stable bytes, pinned digests.
+
+The pinned hex digests below are the regression contract for the
+service cache: if one of these tests starts failing, every cached
+result and every checkpoint digest in the wild is invalidated, and the
+change needs a ``CACHE_KEY_VERSION`` bump, not a test update.
+"""
+
+import math
+
+import pytest
+
+from repro.core.canon import canonical_dumps, content_digest, short_digest
+from repro.core.config import AquaConfig
+from repro.errors import ConfigError
+from repro.parallel import RunPoint
+
+
+class TestCanonicalDumps:
+    def test_sorts_keys_and_fixes_separators(self):
+        assert canonical_dumps({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_tuples_normalize_to_lists(self):
+        assert canonical_dumps((1, (2, 3))) == "[1,[2,3]]"
+
+    def test_equal_values_equal_bytes_regardless_of_insertion_order(self):
+        first = {"x": 1, "y": {"p": [1, 2], "q": None}}
+        second = {"y": {"q": None, "p": [1, 2]}, "x": 1}
+        assert canonical_dumps(first) == canonical_dumps(second)
+
+    def test_non_ascii_is_escaped(self):
+        assert "\\u" in canonical_dumps({"k": "héllo"})
+
+    def test_rejects_nan_and_infinity(self):
+        with pytest.raises(ConfigError):
+            canonical_dumps({"x": math.nan})
+        with pytest.raises(ConfigError):
+            canonical_dumps({"x": math.inf})
+
+    def test_rejects_non_json_types(self):
+        with pytest.raises(ConfigError):
+            canonical_dumps({"x": object()})
+        with pytest.raises(ConfigError):
+            canonical_dumps({"x": {1: "non-str key"}})
+
+
+class TestContentDigest:
+    PINNED = "89e0b792b163aa339e094f1f922ea731e9a416a0ca4ac4f15854879af0f7fd96"
+
+    def test_pinned_digest(self):
+        value = {"b": 1, "a": [1, 2, "x"], "c": None}
+        assert content_digest(value) == self.PINNED
+
+    def test_short_digest_is_a_prefix(self):
+        value = {"b": 1, "a": [1, 2, "x"], "c": None}
+        assert self.PINNED.startswith(short_digest(value))
+        assert len(short_digest(value)) == 16
+
+    def test_key_order_does_not_change_the_digest(self):
+        assert content_digest({"a": 1, "b": 2}) == content_digest(
+            {"b": 2, "a": 1}
+        )
+
+
+class TestAquaConfigDigest:
+    PINNED = "73b203ed939be3873328f30fea77cbf8de8ab5c2aa6ecbafb8213356dcaa3617"
+
+    def test_default_config_digest_is_pinned(self):
+        assert AquaConfig().digest() == self.PINNED
+
+    def test_to_dict_roundtrips_through_canonical_json(self):
+        # Every field must be canonically serializable (the digest
+        # raises otherwise), and the dict carries the configured value,
+        # not a derived one.
+        data = AquaConfig(rowhammer_threshold=2000).to_dict()
+        assert data["rowhammer_threshold"] == 2000
+        assert "derived_rqa_slots" not in data
+        assert canonical_dumps(data)
+
+    def test_parameter_changes_change_the_digest(self):
+        base = AquaConfig().digest()
+        assert AquaConfig(rowhammer_threshold=2000).digest() != base
+        assert AquaConfig(table_mode="memory-mapped").digest() != base
+        assert AquaConfig(tracker="exact").digest() != base
+
+
+class TestRunPointDigest:
+    PINNED = "4a230bb7eda002fee0ad1158f297b23acab505d66659d20288236fcbc78454c5"
+
+    def point(self, **overrides):
+        fields = dict(
+            label="aqua-sram",
+            scheme="aqua-sram",
+            workload="xz",
+            threshold=1000,
+            epochs=1,
+            seed=7,
+        )
+        fields.update(overrides)
+        return RunPoint(**fields)
+
+    def test_pinned_digest(self):
+        assert content_digest(self.point().to_dict()) == self.PINNED
+
+    def test_roundtrip(self):
+        point = self.point(scheme_kwargs=(("tracker", "exact"),))
+        assert RunPoint.from_dict(point.to_dict()) == point
+
+    def test_every_field_is_identity_bearing(self):
+        base = content_digest(self.point().to_dict())
+        for overrides in (
+            {"workload": "gcc"},
+            {"threshold": 2000},
+            {"epochs": 2},
+            {"seed": 8},
+            {"scheme_kwargs": (("tracker", "exact"),)},
+        ):
+            assert content_digest(self.point(**overrides).to_dict()) != base
+
+    def test_malformed_dict_is_a_config_error(self):
+        with pytest.raises(ConfigError):
+            RunPoint.from_dict({"label": "x"})

@@ -284,3 +284,88 @@ class TestCheckpointMerge:
         records, skipped = ckpt.load_result_records(sidecar)
         assert records == []
         assert skipped == 1
+
+    def test_resume_after_absorb_does_not_double_count(self, tmp_path):
+        # A parent that consolidated a sidecar but died before unlinking
+        # it leaves the same record in the main file AND the sidecar;
+        # resume must fold to exactly one record, one resumed run.
+        points = small_points(workloads=("xz",))
+        point = points[0]
+        donor = run_sweep_parallel(points, jobs=1)
+        path = str(tmp_path / "ckpt.jsonl")
+        with SweepCheckpoint.create(path, self.META) as checkpoint:
+            checkpoint.record(
+                point.label, point.workload, donor.results[point.key]
+            )
+        ckpt.append_result_record(
+            ckpt.worker_journal_path(path, 777),
+            point.label,
+            point.workload,
+            donor.results[point.key].to_dict(),
+        )
+        with SweepCheckpoint.resume(path, self.META) as checkpoint:
+            report = run_sweep_parallel(points, jobs=2, checkpoint=checkpoint)
+        assert report.resumed == 1
+        assert canonical(report) == canonical(donor)
+        assert ckpt.worker_journal_paths(path) == []
+        with open(path, encoding="utf-8") as fh:
+            records = [json.loads(line) for line in fh if line.strip()]
+        result_keys = [
+            (record["scheme"], record["workload"])
+            for record in records
+            if record["record"] == "result"
+        ]
+        assert result_keys == [point.key]  # exactly one line survived
+
+
+@fork_only
+class TestCrashSalvage:
+    """A run journaled to a sidecar before its worker died must be
+    salvaged from the journal, never re-executed (re-running would
+    waste the work and double-count against the checkpoint)."""
+
+    def test_journaled_run_is_salvaged_not_rerun(self, tmp_path):
+        # Donor result for the record the dying worker leaves behind.
+        donor = run_sweep_parallel(small_points(workloads=("xz",)), jobs=1)
+        donor_dict = donor.results[("aqua-sram", "xz")].to_dict()
+
+        def journal_then_crash_builder(trh, **kwargs):
+            # Mimics a worker that finished its run, journaled it, and
+            # was killed before the future could report back.
+            def build(telemetry=None):
+                from repro.parallel import executor as ex
+
+                ckpt.append_result_record(
+                    ex._WORKER_JOURNAL, "salvage-test", "xz", donor_dict
+                )
+                os._exit(3)
+
+            return build
+
+        runner.register_scheme_builder(
+            "salvage-test", journal_then_crash_builder
+        )
+        try:
+            path = str(tmp_path / "ckpt.jsonl")
+            points = expand_grid(["salvage-test"], ["xz"], epochs=1, seed=7)
+            meta = {"scheme": "salvage-test", "trh": 1000, "epochs": 1,
+                    "seed": 7}
+            with SweepCheckpoint.create(path, meta) as checkpoint:
+                report = run_sweep_parallel(
+                    points, jobs=2, checkpoint=checkpoint
+                )
+        finally:
+            runner.SCHEME_BUILDERS.pop("salvage-test", None)
+        # Salvaged, not blamed: the journaled result made it into the
+        # report and the crash never reached the failure ledger.
+        assert report.failures == []
+        assert report.results[("salvage-test", "xz")].to_dict() == donor_dict
+        assert ckpt.worker_journal_paths(path) == []
+        with open(path, encoding="utf-8") as fh:
+            records = [json.loads(line) for line in fh if line.strip()]
+        result_keys = [
+            (record["scheme"], record["workload"])
+            for record in records
+            if record["record"] == "result"
+        ]
+        assert result_keys == [("salvage-test", "xz")]  # once, exactly

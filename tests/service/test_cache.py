@@ -1,0 +1,88 @@
+"""ResultCache: content addressing, atomicity, hit/miss accounting."""
+
+import os
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.service.cache import ResultCache
+from repro.telemetry import Telemetry
+
+KEY = "a" * 64
+OTHER = "b" * 64
+
+
+class TestRoundtrip:
+    def test_put_then_get_returns_identical_text(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        text = '{"results": {}}\n'
+        cache.put(KEY, text)
+        assert cache.get(KEY) == text
+        assert KEY in cache
+        assert OTHER not in cache
+
+    def test_get_on_missing_key_is_none(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        assert cache.get(KEY) is None
+
+    def test_keys_lists_stored_digests(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        cache.put(OTHER, "x")
+        cache.put(KEY, "y")
+        assert cache.keys() == [KEY, OTHER]
+
+    def test_put_leaves_no_temp_files(self, tmp_path):
+        root = tmp_path / "cache"
+        cache = ResultCache(str(root))
+        cache.put(KEY, "doc")
+        assert sorted(os.listdir(root)) == [f"{KEY}.json"]
+
+
+class TestAccounting:
+    def test_get_counts_hits_and_misses(self, tmp_path):
+        telemetry = Telemetry()
+        cache = ResultCache(str(tmp_path / "cache"), telemetry=telemetry)
+        cache.get(KEY)  # miss
+        cache.put(KEY, "doc")
+        cache.get(KEY)  # hit
+        cache.get(KEY)  # hit
+        snapshot = telemetry.registry.snapshot()
+        assert snapshot["service_cache_misses_total"] == 1.0
+        assert snapshot["service_cache_hits_total"] == 2.0
+        assert snapshot["service_cache_writes_total"] == 1.0
+
+    def test_peek_never_touches_the_counters(self, tmp_path):
+        # peek() backs result fetches; polling a finished job must not
+        # inflate the hit rate the CI smoke asserts on.
+        telemetry = Telemetry()
+        cache = ResultCache(str(tmp_path / "cache"), telemetry=telemetry)
+        cache.put(KEY, "doc")
+        assert cache.peek(KEY) == "doc"
+        assert cache.peek(OTHER) is None
+        snapshot = telemetry.registry.snapshot()
+        assert "service_cache_hits_total" not in snapshot
+        assert "service_cache_misses_total" not in snapshot
+
+
+class TestKeyValidation:
+    @pytest.mark.parametrize(
+        "key",
+        [
+            "../../etc/passwd",
+            "ABCDEF0123456789",  # uppercase hex is not canonical
+            "short",
+            "",
+            "a" * 65,
+            "zz" * 16,
+        ],
+    )
+    def test_malformed_keys_rejected(self, tmp_path, key):
+        cache = ResultCache(str(tmp_path / "cache"))
+        with pytest.raises(ConfigError, match="malformed cache key"):
+            cache.path(key)
+
+    def test_short_digest_prefix_accepted(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        assert cache.path("0123456789abcdef").endswith(
+            "0123456789abcdef.json"
+        )

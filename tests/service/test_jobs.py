@@ -1,0 +1,135 @@
+"""JobSpec identity: validation, cache keys, serialization."""
+
+import pytest
+
+from repro.faults import FaultSpec
+from repro.errors import ConfigError
+from repro.parallel import expand_grid
+from repro.service.jobs import DEFAULT_PRIORITY, Job, JobSpec
+
+
+def spec(**overrides) -> JobSpec:
+    fields = dict(scheme="aqua-sram", workloads=("xz",), epochs=1, seed=7)
+    fields.update(overrides)
+    return JobSpec(**fields)
+
+
+class TestValidation:
+    def test_valid_spec_passes(self):
+        spec().validate()
+
+    @pytest.mark.parametrize(
+        "overrides, match",
+        [
+            ({"scheme": "doom"}, "unknown scheme"),
+            ({"workloads": ()}, "at least one workload"),
+            ({"workloads": ("doom",)}, "unknown workloads"),
+            ({"workloads": ("xz", "xz")}, "duplicate workloads"),
+            ({"trh": 1}, "trh must be >= 2"),
+            ({"epochs": 0}, "epochs must be >= 1"),
+            ({"timeout_s": -1.0}, "timeout_s must be >= 0"),
+            ({"retries": -1}, "retries must be >= 0"),
+            ({"max_attempts": 0}, "max_attempts must be >= 1"),
+        ],
+    )
+    def test_malformed_specs_rejected_with_field_messages(
+        self, overrides, match
+    ):
+        with pytest.raises(ConfigError, match=match):
+            spec(**overrides).validate()
+
+
+class TestExpansion:
+    def test_points_match_the_cli_sweep_grid(self):
+        job = spec(workloads=("xz", "wrf"), trh=2000, epochs=3, seed=11)
+        assert job.points() == expand_grid(
+            ["aqua-sram"], ["xz", "wrf"], thresholds=(2000,), epochs=3,
+            seed=11,
+        )
+
+    def test_meta_is_byte_compatible_with_sweep_meta(self):
+        assert spec(trh=1500, epochs=2, seed=3).meta() == {
+            "scheme": "aqua-sram",
+            "trh": 1500,
+            "epochs": 2,
+            "seed": 3,
+        }
+
+
+class TestCacheKey:
+    PINNED = "9022e476ddb680ce0fbfc4e4694a277be70b000eaf5954ea32b6fe39feae453b"
+
+    def test_pinned_cache_key(self):
+        # The cache key is the on-disk contract: changing it silently
+        # invalidates every stored result.  Bump CACHE_KEY_VERSION (and
+        # this pin) when result semantics genuinely change.
+        assert spec().cache_key() == self.PINNED
+
+    def test_scheduling_knobs_do_not_change_the_key(self):
+        base = spec().cache_key()
+        assert spec(priority=0).cache_key() == base
+        assert spec(max_attempts=5).cache_key() == base
+
+    def test_result_affecting_fields_change_the_key(self):
+        base = spec().cache_key()
+        assert spec(workloads=("wrf",)).cache_key() != base
+        assert spec(trh=2000).cache_key() != base
+        assert spec(epochs=2).cache_key() != base
+        assert spec(seed=8).cache_key() != base
+        assert spec(timeout_s=5.0).cache_key() != base
+        assert spec(retries=1).cache_key() != base
+        assert spec(
+            fault_spec=FaultSpec(seed=1, fault_rate=1e-4)
+        ).cache_key() != base
+
+    def test_equal_specs_hash_equal(self):
+        assert spec().cache_key() == spec().cache_key()
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        job = spec(
+            workloads=("xz", "wrf"),
+            timeout_s=2.5,
+            retries=1,
+            priority=3,
+            max_attempts=2,
+            fault_spec=FaultSpec(
+                seed=9, fault_rate=1e-3, rates=(("tracker_drop", 0.0),)
+            ),
+        )
+        assert JobSpec.from_dict(job.to_dict()) == job
+
+    def test_defaults_fill_in(self):
+        job = JobSpec.from_dict({"scheme": "aqua-sram", "workloads": ["xz"]})
+        assert job.trh == 1000
+        assert job.priority == DEFAULT_PRIORITY
+        assert job.fault_spec is None
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ConfigError, match="unknown job spec fields"):
+            JobSpec.from_dict(
+                {"scheme": "aqua-sram", "workloads": ["xz"], "doom": 1}
+            )
+
+    def test_missing_scheme_and_workloads_rejected(self):
+        with pytest.raises(ConfigError, match="scheme"):
+            JobSpec.from_dict({"workloads": ["xz"]})
+        with pytest.raises(ConfigError, match="workloads"):
+            JobSpec.from_dict({"scheme": "aqua-sram"})
+        with pytest.raises(ConfigError, match="must be an object"):
+            JobSpec.from_dict(["not", "a", "dict"])
+
+
+class TestJob:
+    def test_id_embeds_sequence_and_short_digest(self):
+        job = Job.create(4, spec())
+        assert job.id == f"j4-{spec().cache_key()[:12]}"
+        assert job.seq == 4
+        assert job.state == "queued"
+        assert job.digest == spec().cache_key()
+
+    def test_to_dict_can_omit_the_spec(self):
+        job = Job.create(1, spec())
+        assert "spec" in job.to_dict()
+        assert "spec" not in job.to_dict(include_spec=False)

@@ -1,0 +1,105 @@
+"""JobQueue: priority order, backpressure, recovery bypass."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import QueueFullError
+from repro.service.jobs import Job, JobSpec
+from repro.service.queue import JobQueue
+from repro.telemetry import Telemetry
+
+
+def job(seq: int, priority: int = 10) -> Job:
+    return Job.create(
+        seq,
+        JobSpec(
+            scheme="aqua-sram", workloads=("xz",), epochs=1, seed=seq,
+            priority=priority,
+        ),
+    )
+
+
+def drain(queue: JobQueue) -> list:
+    async def body():
+        out = []
+        while len(queue):
+            out.append(await queue.get())
+        return out
+
+    return asyncio.run(body())
+
+
+class TestOrdering:
+    def test_lower_priority_number_dequeues_first(self):
+        queue = JobQueue()
+        bulk = job(1, priority=20)
+        urgent = job(2, priority=0)
+        default = job(3, priority=10)
+        for item in (bulk, urgent, default):
+            queue.put_nowait(item)
+        assert drain(queue) == [urgent, default, bulk]
+
+    def test_fifo_within_a_priority_level(self):
+        queue = JobQueue()
+        first, second, third = job(1), job(2), job(3)
+        for item in (first, second, third):
+            queue.put_nowait(item)
+        assert drain(queue) == [first, second, third]
+
+    def test_snapshot_lists_dequeue_order_without_draining(self):
+        queue = JobQueue()
+        late = job(5, priority=10)
+        soon = job(6, priority=1)
+        queue.put_nowait(late)
+        queue.put_nowait(soon)
+        assert queue.snapshot() == [soon, late]
+        assert queue.depth == 2
+
+
+class TestBackpressure:
+    def test_put_past_max_depth_raises_clean_error(self):
+        telemetry = Telemetry()
+        queue = JobQueue(max_depth=2, telemetry=telemetry)
+        queue.put_nowait(job(1))
+        queue.put_nowait(job(2))
+        with pytest.raises(QueueFullError, match="full"):
+            queue.put_nowait(job(3))
+        snapshot = telemetry.registry.snapshot()
+        assert snapshot["service_queue_rejections_total"] == 1.0
+        assert queue.depth == 2  # the rejected job never entered
+
+    def test_restore_bypasses_the_depth_bound(self):
+        # Crash recovery must never drop a previously accepted job,
+        # even if max_depth shrank between runs.
+        queue = JobQueue(max_depth=1)
+        queue.put_nowait(job(1))
+        queue.restore(job(2))
+        assert queue.depth == 2
+
+    def test_depth_gauge_tracks_put_and_get(self):
+        telemetry = Telemetry()
+        queue = JobQueue(telemetry=telemetry)
+        queue.put_nowait(job(1))
+        assert telemetry.registry.snapshot()["service_queue_depth"] == 1.0
+        drain(queue)
+        assert telemetry.registry.snapshot()["service_queue_depth"] == 0.0
+
+    def test_zero_max_depth_rejected(self):
+        with pytest.raises(ValueError, match="max_depth"):
+            JobQueue(max_depth=0)
+
+
+class TestAsyncWakeup:
+    def test_get_blocks_until_a_job_arrives(self):
+        queue = JobQueue()
+        arrived = job(9)
+
+        async def body():
+            getter = asyncio.ensure_future(queue.get())
+            await asyncio.sleep(0)  # let the getter start waiting
+            assert not getter.done()
+            queue.put_nowait(arrived)
+            return await asyncio.wait_for(getter, timeout=5.0)
+
+        assert asyncio.run(body()) is arrived

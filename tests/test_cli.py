@@ -1,5 +1,7 @@
 """CLI: every subcommand produces a sane report and exit code."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -271,6 +273,122 @@ class TestAttack:
 
     def test_single_sided_vs_aqua(self, capsys):
         assert main(["attack", "--scheme", "aqua", "--pattern", "single"]) == 0
+
+    def test_out_writes_machine_readable_report(self, tmp_path, capsys):
+        out = str(tmp_path / "attack.json")
+        code = main(
+            ["attack", "--scheme", "victim-refresh", "--out", out]
+        )
+        assert code == 1  # the attack still flips bits
+        assert "wrote report" in capsys.readouterr().out
+        document = json.loads(open(out, encoding="utf-8").read())
+        assert document["pattern"] == "half-double"
+        report = document["report"]
+        assert report["scheme"] == "victim-refresh"
+        assert report["succeeded"] is True
+        assert report["flips"]  # each flip carries row/time/disturbance
+        assert {"row", "time_ns", "disturbance"} <= set(report["flips"][0])
+        assert report["slowdown"] == pytest.approx(
+            report["elapsed_ns"] / report["unimpeded_ns"]
+        )
+
+    def test_out_report_for_mitigated_attack(self, tmp_path, capsys):
+        out = str(tmp_path / "attack.json")
+        assert main(["attack", "--scheme", "aqua", "--out", out]) == 0
+        capsys.readouterr()
+        report = json.loads(open(out, encoding="utf-8").read())["report"]
+        assert report["succeeded"] is False
+        assert report["flips"] == []
+        assert report["migrations"] > 0
+
+
+class TestService:
+    """The serve/submit/status/fetch verbs against a live server."""
+
+    @pytest.fixture
+    def server(self, tmp_path):
+        from repro.service import BackgroundServer, SimulationService
+
+        service = SimulationService.open(
+            str(tmp_path / "jobs.jsonl"), str(tmp_path / "cache")
+        )
+        with BackgroundServer(service) as background:
+            yield background
+
+    def submit_argv(self, port, extra=()):
+        return [
+            "submit", "--scheme", "aqua-sram", "--workloads", "xz",
+            "--epochs", "1", "--seed", "7", "--port", str(port),
+            *extra,
+        ]
+
+    def test_submit_wait_fetch_matches_direct_sweep(
+        self, tmp_path, server, capsys
+    ):
+        fetched = str(tmp_path / "service.json")
+        code = main(
+            self.submit_argv(
+                server.port,
+                ["--wait", "--wait-timeout", "120", "--out", fetched],
+            )
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[queued]" in out
+        assert "wrote result document" in out
+
+        direct = str(tmp_path / "direct.json")
+        assert main(
+            ["sweep", "--scheme", "aqua-sram", "--workloads", "xz",
+             "--epochs", "1", "--seed", "7", "--out", direct]
+        ) == 0
+        capsys.readouterr()
+        assert open(fetched, "rb").read() == open(direct, "rb").read()
+
+    def test_resubmit_is_a_cache_hit(self, server, capsys):
+        assert main(
+            self.submit_argv(
+                server.port, ["--wait", "--wait-timeout", "120"]
+            )
+        ) == 0
+        capsys.readouterr()
+        assert main(self.submit_argv(server.port)) == 0
+        assert "[cache hit]" in capsys.readouterr().out
+
+    def test_status_lists_jobs_and_fetch_streams_the_result(
+        self, server, capsys
+    ):
+        assert main(
+            self.submit_argv(
+                server.port, ["--wait", "--wait-timeout", "120"]
+            )
+        ) == 0
+        first_line = capsys.readouterr().out.splitlines()[0]
+        job_id = first_line.split()[1]
+
+        assert main(["status", "--port", str(server.port)]) == 0
+        out = capsys.readouterr().out
+        assert "service ok" in out
+        assert job_id in out and "done" in out
+
+        assert main(["status", job_id, "--port", str(server.port)]) == 0
+        detail = json.loads(capsys.readouterr().out)
+        assert detail["state"] == "done"
+
+        assert main(["fetch", job_id, "--port", str(server.port)]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["meta"]["scheme"] == "aqua-sram"
+
+    def test_fetch_unknown_job_exits_2(self, server, capsys):
+        assert main(
+            ["fetch", "j9-nope", "--port", str(server.port)]
+        ) == 2
+        assert "error" in capsys.readouterr().out
+
+    def test_submit_to_dead_server_is_a_clean_error(self, capsys):
+        # Port 1 is never listening; the client error must not traceback.
+        assert main(self.submit_argv(1)) == 2
+        assert "cannot reach service" in capsys.readouterr().out
 
 
 class TestParser:
