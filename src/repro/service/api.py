@@ -274,10 +274,10 @@ class SimulationService:
         job.error = error
         if text is not None and run_failures:
             # A partial document (some runs failed) is still useful for
-            # debugging; store it under the digest only if nothing
-            # pristine is already there, and never call it a cache win.
-            if job.digest not in self.cache:
-                self.cache.put(job.digest, text)
+            # debugging, but it must never enter the dedup namespace:
+            # a resubmission of this spec has to re-run the work, not
+            # be served a document that records failures.
+            self.cache.put_partial(job.digest, text)
         self.store.append_state(job)
         self.telemetry.inc("service_jobs_completed_total", state="failed")
         self.telemetry.event(
@@ -324,6 +324,9 @@ class SimulationService:
             )
         text = self.cache.peek(job.digest)
         if text is None:
+            # Failed jobs may have left a partial ledger for debugging.
+            text = self.cache.peek_partial(job.digest)
+        if text is None:
             raise JobNotFoundError(
                 f"job {job_id} has no stored result"
                 + (f" (state {job.state}: {job.error})" if job.error else "")
@@ -358,6 +361,9 @@ _STATUS_TEXT = {
 }
 
 MAX_BODY_BYTES = 1 << 20  # a spec is tiny; anything bigger is abuse
+
+REQUEST_DEADLINE_S = 10.0
+"""Wall-clock budget to read one full request (line + headers + body)."""
 
 
 def _response(
@@ -426,12 +432,18 @@ class ServiceServer:
             writer.close()
 
     async def _respond(self, reader: asyncio.StreamReader) -> bytes:
+        # One deadline covers the whole read (request line, headers,
+        # body): a client that stalls at any point -- slow-loris style
+        # -- cannot pin a handler coroutine forever.
         try:
-            request_line = await asyncio.wait_for(
-                reader.readline(), timeout=10.0
+            return await asyncio.wait_for(
+                self._read_and_route(reader), timeout=REQUEST_DEADLINE_S
             )
         except asyncio.TimeoutError:
             return _json_response(400, {"error": "request timed out"})
+
+    async def _read_and_route(self, reader: asyncio.StreamReader) -> bytes:
+        request_line = await reader.readline()
         parts = request_line.decode("latin-1").split()
         if len(parts) != 3:
             return _json_response(400, {"error": "malformed request line"})
@@ -449,6 +461,8 @@ class ServiceServer:
                     return _json_response(
                         400, {"error": "bad Content-Length"}
                     )
+        if content_length < 0:
+            return _json_response(400, {"error": "bad Content-Length"})
         if content_length > MAX_BODY_BYTES:
             return _json_response(400, {"error": "request body too large"})
         body = (

@@ -16,6 +16,14 @@ Hit/miss accounting is deliberately split between two read paths:
 the ``service-smoke`` CI job asserts), :meth:`peek` does not (it backs
 result fetches for already-completed jobs, which would otherwise
 inflate the hit rate with every poll).
+
+Partial documents -- a failed job's ledger where some runs succeeded --
+live in a *separate namespace* (``<sha256>.partial.json``, written by
+:meth:`put_partial`, read by :meth:`peek_partial`).  They are useful
+for debugging a failed job but are never pristine results, so they are
+invisible to :meth:`get`/:meth:`__contains__`/:meth:`keys`: a later
+submission of the same spec must re-run the work, not be served a
+document recording failures.
 """
 
 from __future__ import annotations
@@ -46,6 +54,12 @@ class ResultCache:
             raise ConfigError(f"malformed cache key {key!r}")
         return os.path.join(self.root, f"{key}.json")
 
+    def partial_path(self, key: str) -> str:
+        """Filesystem path of one *partial* (failed-job) entry."""
+        if not _KEY_RE.match(key):
+            raise ConfigError(f"malformed cache key {key!r}")
+        return os.path.join(self.root, f"{key}.partial.json")
+
     def __contains__(self, key: str) -> bool:
         return os.path.exists(self.path(key))
 
@@ -68,9 +82,15 @@ class ResultCache:
         except FileNotFoundError:
             return None
 
-    def put(self, key: str, text: str) -> None:
-        """Atomically, durably store one document."""
-        target = self.path(key)
+    def peek_partial(self, key: str) -> Optional[str]:
+        """A failed job's partial document, if one was kept."""
+        try:
+            with open(self.partial_path(key), "r", encoding="utf-8") as fh:
+                return fh.read()
+        except FileNotFoundError:
+            return None
+
+    def _write_atomic(self, target: str, key: str, text: str) -> None:
         fd, tmp = tempfile.mkstemp(
             prefix=f".{key[:16]}.", suffix=".tmp", dir=self.root
         )
@@ -86,7 +106,17 @@ class ResultCache:
             except FileNotFoundError:
                 pass
             raise
+
+    def put(self, key: str, text: str) -> None:
+        """Atomically, durably store one pristine document."""
+        self._write_atomic(self.path(key), key, text)
         self.telemetry.inc("service_cache_writes_total")
+
+    def put_partial(self, key: str, text: str) -> None:
+        """Store a failed job's partial document, outside the dedup
+        namespace -- :meth:`get` will never return it."""
+        self._write_atomic(self.partial_path(key), key, text)
+        self.telemetry.inc("service_cache_partial_writes_total")
 
     def keys(self) -> List[str]:
         """Digests of every stored entry, sorted."""

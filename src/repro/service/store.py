@@ -17,8 +17,10 @@ recovery re-enqueues every job whose effective state is ``queued`` or
 ``running`` -- *exactly once per job*, because jobs are keyed by ID and
 duplicate ``job`` records (impossible in normal operation, possible
 from a torn copy) collapse onto one entry.  A truncated trailing line,
-the signature of a crash mid-write, is tolerated and counted, exactly
-as :meth:`repro.sim.checkpoint.SweepCheckpoint.resume` does.
+the signature of a crash mid-write, is truncated away and counted,
+exactly as :meth:`repro.sim.checkpoint.SweepCheckpoint.resume` does --
+removed rather than merely skipped, so the first record appended after
+restart can never glue onto the torn fragment and corrupt itself.
 """
 
 from __future__ import annotations
@@ -30,6 +32,7 @@ from typing import Dict, Optional
 from repro.core.canon import canonical_dumps
 from repro.errors import ConfigError, SimulationError
 from repro.service.jobs import JOB_STATES, Job, JobSpec
+from repro.sim.checkpoint import repair_torn_tail
 
 STORE_VERSION = 1
 
@@ -52,6 +55,11 @@ class JobStore:
         """Open ``path``, replaying it if it exists, creating it if not."""
         store = cls(path)
         if os.path.exists(path):
+            # Remove (and count) a torn trailing line *before* reopening
+            # in append mode, or the first post-restart record would be
+            # glued onto the fragment and lost on the next replay.
+            if repair_torn_tail(path):
+                store.skipped_lines += 1
             store._replay()
             store._fh = open(path, "a", encoding="utf-8")
         else:

@@ -39,6 +39,40 @@ RunKey = Tuple[str, str]
 """(scheme label, workload name) -- the unit of sweep progress."""
 
 
+def repair_torn_tail(path: str) -> bool:
+    """Truncate a trailing line that lost its newline (crash mid-write).
+
+    Replay already skips the torn fragment, but skipping alone is not
+    enough for a journal that is *reopened for appending*: the first
+    record written after restart would glue onto the fragment, forming
+    one invalid line that the next replay drops -- silently losing a
+    durably fsynced record.  Truncating the fragment before reopening
+    keeps append mode safe.  Returns whether a torn tail was removed,
+    so callers can count it exactly as they count skipped lines.
+    """
+    with open(path, "rb+") as fh:
+        fh.seek(0, os.SEEK_END)
+        size = fh.tell()
+        if size == 0:
+            return False
+        fh.seek(size - 1)
+        if fh.read(1) == b"\n":
+            return False
+        # Scan backwards for the last intact line ending.
+        pos = size
+        while pos > 0:
+            step = min(4096, pos)
+            pos -= step
+            fh.seek(pos)
+            chunk = fh.read(step)
+            cut = chunk.rfind(b"\n")
+            if cut >= 0:
+                fh.truncate(pos + cut + 1)
+                return True
+        fh.truncate(0)
+        return True
+
+
 class SweepCheckpoint:
     """Append-only JSONL journal of completed sweep runs."""
 
@@ -47,6 +81,9 @@ class SweepCheckpoint:
         self.meta = dict(meta)
         self.completed: Dict[RunKey, WorkloadResult] = {}
         self.skipped_lines = 0
+        self.skipped_writes = 0
+        """Results that could not be canonically serialized (non-finite
+        metrics) and were kept in memory but not journaled."""
         self._fh = None
 
     # ------------------------------------------------------------ constructors
@@ -73,15 +110,17 @@ class SweepCheckpoint:
         resuming a sweep under different parameters raises
         :class:`~repro.errors.ConfigError` instead of silently mixing
         incompatible results.  A truncated trailing line (the crash
-        artifact of a killed run) is tolerated and counted in
-        ``skipped_lines``; corruption anywhere else is too, so resume
-        salvages every intact record.
+        artifact of a killed run) is truncated away and counted in
+        ``skipped_lines`` -- removed, not just skipped, so the records
+        this resume appends can never glue onto the torn fragment.
+        Corruption anywhere else is tolerated and counted too, so
+        resume salvages every intact record.
         """
         if not os.path.exists(path):
             raise ConfigError(f"checkpoint {path!r} does not exist")
         header = None
         results: List[dict] = []
-        skipped = 0
+        skipped = 1 if repair_torn_tail(path) else 0
         with open(path, "r", encoding="utf-8") as fh:
             for line in fh:
                 line = line.strip()
@@ -143,10 +182,13 @@ class SweepCheckpoint:
     # ----------------------------------------------------------------- writing
 
     def _append(self, record: dict) -> None:
+        self._append_line(canonical_dumps(record))
+
+    def _append_line(self, line: str) -> None:
         fh = self._fh
         if fh is None:
             raise SimulationError(f"checkpoint {self.path!r} is closed")
-        fh.write(canonical_dumps(record))
+        fh.write(line)
         fh.write("\n")
         # Crash safety: the record must be durable before the runner
         # moves on, or a kill could lose a finished run.
@@ -154,15 +196,28 @@ class SweepCheckpoint:
         os.fsync(fh.fileno())
 
     def record(self, scheme: str, workload: str, result: WorkloadResult) -> None:
-        """Durably record one completed run."""
-        self._append(
-            {
-                "record": "result",
-                "scheme": scheme,
-                "workload": workload,
-                "result": result.to_dict(),
-            }
-        )
+        """Durably record one completed run.
+
+        A result whose metrics cannot be canonically serialized (a NaN
+        rate from a zero denominator, say) is counted in
+        ``skipped_writes`` and kept in memory -- the sweep continues
+        and that one run degrades to re-execution on resume, instead
+        of the journal write aborting the whole sweep mid-run.
+        """
+        try:
+            line = canonical_dumps(
+                {
+                    "record": "result",
+                    "scheme": scheme,
+                    "workload": workload,
+                    "result": result.to_dict(),
+                }
+            )
+        except ConfigError:
+            self.skipped_writes += 1
+            self.completed[(scheme, workload)] = result
+            return
+        self._append_line(line)
         self.completed[(scheme, workload)] = result
 
     def has(self, scheme: str, workload: str) -> bool:
@@ -204,27 +259,35 @@ def worker_journal_paths(checkpoint_path: str) -> List[str]:
 
 def append_result_record(
     path: str, scheme: str, workload: str, result_dict: dict
-) -> None:
+) -> bool:
     """Durably append one headerless result record to a journal file.
 
     Opens, fsyncs, and closes per record: worker journals are written
     once per completed run (seconds apart), and short-lived descriptors
     survive pool shutdown and crash-isolation restarts.
+
+    Returns whether the record was journaled: a result that cannot be
+    canonically serialized (non-finite metrics) is dropped -- the run
+    still reaches the parent through the pool's normal return path; it
+    just is not crash-durable.
     """
-    with open(path, "a", encoding="utf-8") as fh:
-        fh.write(
-            canonical_dumps(
-                {
-                    "record": "result",
-                    "scheme": scheme,
-                    "workload": workload,
-                    "result": result_dict,
-                }
-            )
+    try:
+        line = canonical_dumps(
+            {
+                "record": "result",
+                "scheme": scheme,
+                "workload": workload,
+                "result": result_dict,
+            }
         )
+    except ConfigError:
+        return False
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(line)
         fh.write("\n")
         fh.flush()
         os.fsync(fh.fileno())
+    return True
 
 
 def load_result_records(

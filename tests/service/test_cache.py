@@ -64,6 +64,41 @@ class TestAccounting:
         assert "service_cache_misses_total" not in snapshot
 
 
+class TestPartialNamespace:
+    def test_partials_are_invisible_to_the_dedup_path(self, tmp_path):
+        # A failed job's partial ledger must never be served as a
+        # pristine cache hit, or a later submission of the same spec
+        # would be short-circuited onto a document recording failures.
+        cache = ResultCache(str(tmp_path / "cache"))
+        cache.put_partial(KEY, "partial-ledger")
+        assert cache.get(KEY) is None
+        assert KEY not in cache
+        assert cache.keys() == []
+        assert cache.peek(KEY) is None
+        assert cache.peek_partial(KEY) == "partial-ledger"
+
+    def test_pristine_and_partial_coexist(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        cache.put_partial(KEY, "partial")
+        cache.put(KEY, "pristine")
+        assert cache.get(KEY) == "pristine"
+        assert cache.peek_partial(KEY) == "partial"
+        assert cache.keys() == [KEY]
+
+    def test_partial_writes_count_separately(self, tmp_path):
+        telemetry = Telemetry()
+        cache = ResultCache(str(tmp_path / "cache"), telemetry=telemetry)
+        cache.put_partial(KEY, "partial")
+        snapshot = telemetry.registry.snapshot()
+        assert snapshot["service_cache_partial_writes_total"] == 1.0
+        assert "service_cache_writes_total" not in snapshot
+
+    def test_partial_path_validates_keys(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        with pytest.raises(ConfigError, match="malformed cache key"):
+            cache.partial_path("../../etc/passwd")
+
+
 class TestKeyValidation:
     @pytest.mark.parametrize(
         "key",

@@ -204,10 +204,17 @@ class TestFailurePaths:
             assert "1 of 1 run(s) failed" in job.error
             # The partial ledger is retrievable for debugging...
             assert service.result_text(job.id) == "partial-document"
-            # ...but was never counted as a cache win.
+            # ...but was never counted as a cache win...
             assert "service_cache_hits_total" not in (
                 service.metrics_snapshot()
             )
+            # ...and never entered the dedup namespace: resubmitting
+            # the same spec re-runs the work instead of being served
+            # the failed document as a "cached" success.
+            assert service.cache.get(job.digest) is None
+            resubmitted = service.submit(SPEC)
+            assert not resubmitted.from_cache
+            assert resubmitted.state == "queued"
         finally:
             service.close()
 

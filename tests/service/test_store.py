@@ -59,6 +59,28 @@ class TestCrashTolerance:
             assert store.skipped_lines == 1
             assert len(store.jobs) == 1
 
+    def test_append_after_torn_tail_does_not_corrupt(self, tmp_path):
+        # The torn fragment must be truncated before the store reopens
+        # for appending, or the first post-restart record is glued onto
+        # it -- one invalid line -- and a durably journaled record
+        # silently vanishes from the *next* replay.
+        path = str(tmp_path / "jobs.jsonl")
+        first = Job.create(1, spec())
+        with JobStore.open(path) as store:
+            store.append_job(first)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"record":"state","id":"j1-')  # killed mid-write
+        second = Job.create(2, spec(seed=8))
+        with JobStore.open(path) as store:
+            assert store.skipped_lines == 1
+            store.append_job(second)
+            second.state = "done"
+            store.append_state(second)
+        with JobStore.open(path) as store:
+            assert store.skipped_lines == 0  # file is whole again
+            assert sorted(store.jobs) == sorted([first.id, second.id])
+            assert store.get(second.id).state == "done"
+
     def test_duplicate_job_records_collapse_by_id(self, tmp_path):
         # A torn copy can duplicate a job line; replay must stay
         # exactly-once because jobs are keyed by ID.

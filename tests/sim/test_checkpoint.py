@@ -79,6 +79,43 @@ class TestCrashTolerance:
         assert resumed.skipped_lines == 1
         resumed.close()
 
+    def test_append_after_torn_tail_does_not_corrupt(self, tmp_path):
+        # Resume must truncate the torn fragment, not just skip it:
+        # otherwise the first record appended after restart glues onto
+        # the fragment and both are lost on the following resume.
+        path = str(tmp_path / "ck.jsonl")
+        with SweepCheckpoint.create(path, META) as checkpoint:
+            checkpoint.record("aqua-sram", "xz", result_for("xz"))
+        with open(path, "a") as fh:
+            fh.write('{"record": "result", "scheme": "aqua-sr')  # killed
+        with SweepCheckpoint.resume(path, META) as checkpoint:
+            assert checkpoint.skipped_lines == 1
+            checkpoint.record("aqua-sram", "gcc", result_for("gcc"))
+        final = SweepCheckpoint.resume(path, META)
+        assert final.skipped_lines == 0  # file is whole again
+        assert set(final.completed) == {
+            ("aqua-sram", "xz"), ("aqua-sram", "gcc")
+        }
+        final.close()
+
+    def test_non_finite_result_degrades_to_unjournaled(self, tmp_path):
+        # canonical_dumps rejects NaN/Infinity; a result carrying one
+        # must not abort the sweep mid-run -- it stays in memory (the
+        # current process completes) and simply re-runs on resume.
+        path = str(tmp_path / "ck.jsonl")
+        with SweepCheckpoint.create(path, META) as checkpoint:
+            checkpoint.record(
+                "aqua-sram", "xz", result_for("xz", slowdown=float("nan"))
+            )
+            assert checkpoint.has("aqua-sram", "xz")
+            assert checkpoint.skipped_writes == 1
+            checkpoint.record("aqua-sram", "gcc", result_for("gcc"))
+        resumed = SweepCheckpoint.resume(path, META)
+        assert not resumed.has("aqua-sram", "xz")  # degraded, re-runs
+        assert resumed.has("aqua-sram", "gcc")
+        assert resumed.skipped_lines == 0  # journal itself stayed clean
+        resumed.close()
+
     def test_missing_file_raises_config_error(self, tmp_path):
         with pytest.raises(ConfigError, match="does not exist"):
             SweepCheckpoint.resume(str(tmp_path / "absent.jsonl"))
