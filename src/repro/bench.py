@@ -33,9 +33,11 @@ the baseline with ``--update-baseline`` and commit it.
 from __future__ import annotations
 
 import argparse
+import cProfile
 import hashlib
 import json
 import os
+import pstats
 import subprocess
 import sys
 import time
@@ -142,8 +144,51 @@ def _peak_rss_kb() -> float:
     return float(peak)
 
 
-def run_case(case: BenchCase, registry: MetricsRegistry) -> dict:
-    """Time one case; stage walls land in ``registry`` as gauges."""
+PROFILE_TOP = 20
+"""Number of hottest (cumulative) functions kept by ``--profile``."""
+
+
+def _profile_summary(profiler: cProfile.Profile) -> List[dict]:
+    """Top-``PROFILE_TOP`` functions by cumulative time, JSON-ready."""
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    rows: List[dict] = []
+    for func in stats.fcn_list[:PROFILE_TOP]:  # (file, line, name)
+        cc, nc, tt, ct, _callers = stats.stats[func]
+        filename, line, name = func
+        rows.append({
+            "func": f"{os.path.basename(filename)}:{line}({name})",
+            "ncalls": nc,
+            "tottime_s": round(tt, 6),
+            "cumtime_s": round(ct, 6),
+        })
+    return rows
+
+
+def _echo_profile(name: str, rows: List[dict]) -> None:
+    """Human-readable top-N profile for one case, on stderr (keeps
+    stdout reserved for the metric table CI parses)."""
+    print(f"  profile[{name}]: top {len(rows)} by cumulative time",
+          file=sys.stderr)
+    for row in rows:
+        print(
+            f"    {row['cumtime_s']:9.4f}s cum "
+            f"{row['tottime_s']:9.4f}s tot "
+            f"{row['ncalls']:>9} calls  {row['func']}",
+            file=sys.stderr,
+        )
+
+
+def run_case(
+    case: BenchCase, registry: MetricsRegistry, profile: bool = False
+) -> dict:
+    """Time one case; stage walls land in ``registry`` as gauges.
+
+    With ``profile=True`` the execute stage runs under :mod:`cProfile`
+    (parent process only: parallel cases' worker time shows up as pool
+    waits, so profile serial cases to see simulator internals) and the
+    result dict gains a ``profile`` block.
+    """
     stages: Dict[str, float] = {}
 
     def stage(name: str, started: float) -> None:
@@ -169,12 +214,19 @@ def run_case(case: BenchCase, registry: MetricsRegistry) -> dict:
         else None
     )
     t = time.perf_counter()
-    report = run_sweep_parallel(
-        points,
-        jobs=case.jobs,
-        trace=case.trace,
-        fault_spec=fault_spec,
-    )
+    profiler = cProfile.Profile() if profile else None
+    if profiler is not None:
+        profiler.enable()
+    try:
+        report = run_sweep_parallel(
+            points,
+            jobs=case.jobs,
+            trace=case.trace,
+            fault_spec=fault_spec,
+        )
+    finally:
+        if profiler is not None:
+            profiler.disable()
     stage("execute", t)
     t = time.perf_counter()
     total_acts = sum(
@@ -188,7 +240,7 @@ def run_case(case: BenchCase, registry: MetricsRegistry) -> dict:
     registry.gauge(
         "bench_acts_per_second", "simulated activations per wall second"
     ).set(total_acts / wall_s if wall_s > 0 else 0.0, case=case.name)
-    return {
+    payload = {
         "wall_s": wall_s,
         "acts_per_s": total_acts / wall_s if wall_s > 0 else 0.0,
         "peak_rss_kb": _peak_rss_kb(),
@@ -196,12 +248,18 @@ def run_case(case: BenchCase, registry: MetricsRegistry) -> dict:
         "runs": len(report.results),
         "failures": len(report.failures),
     }
+    if profiler is not None:
+        rows = _profile_summary(profiler)
+        payload["profile"] = rows
+        _echo_profile(case.name, rows)
+    return payload
 
 
 def run_bench(
     cases: Sequence[BenchCase],
     registry: Optional[MetricsRegistry] = None,
     echo=None,
+    profile: bool = False,
 ) -> dict:
     """Run every case and assemble the BENCH report dict."""
     registry = registry if registry is not None else MetricsRegistry()
@@ -209,7 +267,7 @@ def run_bench(
     for case in cases:
         if echo is not None:
             echo(f"  case {case.name} ...")
-        results[case.name] = run_case(case, registry)
+        results[case.name] = run_case(case, registry, profile=profile)
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
         "rev": git_rev(),
@@ -277,6 +335,45 @@ DEFAULT_SLACK_S = 0.25
 30 ms case would fail on scheduler noise alone, so the limit is
 ``baseline * (1 + tolerance) + slack``."""
 
+#: Parallel cases gated against the serial case that measures the same
+#: grid: the pair's ratio is pure executor overhead, so a parallel case
+#: drifting past its serial sibling is a dispatch regression even when
+#: both still beat the historical baseline.
+PARALLEL_SERIAL_PAIRS: Dict[str, str] = {
+    "parallel-j2": "serial",
+    "parallel-j4": "serial-wide",
+}
+
+
+def compare_parallel_overhead(
+    current: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    slack_s: float = DEFAULT_SLACK_S,
+) -> List[str]:
+    """In-report executor-overhead gate (needs no baseline file).
+
+    For every measured parallel case with a serial sibling over the
+    same work (:data:`PARALLEL_SERIAL_PAIRS`), regress when the
+    parallel wall exceeds ``serial * (1 + tolerance) + slack_s`` --
+    the pool must amortise its own dispatch cost, not just stay under
+    an old absolute number.
+    """
+    regressions: List[str] = []
+    cases = current.get("cases", {})
+    for parallel_name, serial_name in PARALLEL_SERIAL_PAIRS.items():
+        par = cases.get(parallel_name)
+        ser = cases.get(serial_name)
+        if par is None or ser is None:
+            continue
+        limit = float(ser["wall_s"]) * (1.0 + tolerance) + slack_s
+        if float(par["wall_s"]) > limit:
+            regressions.append(
+                f"{parallel_name}: wall_s {par['wall_s']:.3f} > "
+                f"{limit:.3f} (serial sibling {serial_name} "
+                f"{ser['wall_s']:.3f} +{tolerance:.0%} +{slack_s:g}s)"
+            )
+    return regressions
+
 
 def compare(
     current: dict,
@@ -315,6 +412,11 @@ def compare(
     for name in base_cases:
         if name not in current.get("cases", {}):
             warnings.append(f"baseline case {name!r} was not measured")
+    regressions.extend(
+        compare_parallel_overhead(
+            current, tolerance=tolerance, slack_s=slack_s
+        )
+    )
     return regressions, warnings
 
 
@@ -345,6 +447,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--update-baseline", metavar="PATH", default=None,
                         help="also write the report to PATH (the "
                              "baseline-refresh escape hatch)")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile each case's execute stage: top "
+                             f"{PROFILE_TOP} cumulative functions to "
+                             "stderr and a 'profile' block per case in "
+                             "the BENCH json")
     return parser
 
 
@@ -357,7 +464,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     label = "quick" if args.quick else "full"
     print(f"repro bench ({label}: {len(cases)} cases)")
     registry = MetricsRegistry()
-    report = run_bench(cases, registry=registry, echo=print)
+    report = run_bench(
+        cases, registry=registry, echo=print, profile=args.profile
+    )
     validate_report(report)
     print(render_series_table(registry.snapshot()))
     path = write_report(report, args.out)

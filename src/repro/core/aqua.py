@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+import numpy as np
+
 from repro.core.config import AquaConfig
 from repro.core.migration import MigrationCosts, publish_costs
 from repro.core.memtables import (
@@ -75,6 +77,10 @@ class AquaMitigation(MitigationScheme):
         super().__init__(telemetry)
         self.config = config if config is not None else AquaConfig()
         cfg = self.config
+        #: ``config.visible_rows`` re-derives the RQA/table reservation
+        #: chain on every read; the access path validates every chunk
+        #: against it, so cache the (immutable) value once.
+        self._visible_rows = cfg.visible_rows
         self.rqa = RowQuarantineArea(
             cfg.derived_rqa_slots,
             telemetry=self.telemetry,
@@ -99,6 +105,33 @@ class AquaMitigation(MitigationScheme):
                 fpt_capacity=cfg.derived_fpt_capacity,
             )
         self.data = RowDataStore() if cfg.track_data else None
+        #: Upper bound on distinct *extra* physical rows (per bank) the
+        #: tracker may observe in one epoch beyond the trace's own rows:
+        #: quarantine destinations land in the RQA range and table-row
+        #: observations in the FPT range, so an arithmetic-progression
+        #: count over each range bounds them.  Feeds the tracker's
+        #: sparse-feed capacity check (DESIGN.md §11).
+        banks = cfg.geometry.banks_per_rank
+        if isinstance(self.tables, MemoryMappedTables) and (
+            self.tables.table_base_row is not None
+        ):
+            n_table_rows = (
+                self.tables._table_row_of(cfg.geometry.rows_per_rank - 1)
+                - self.tables.table_base_row
+                + 1
+            )
+        else:
+            n_table_rows = 0
+        self._tracker_reserve = (
+            n_table_rows // banks + 1 + cfg.derived_rqa_slots // banks + 1
+        )
+        #: Bank count when the tracker is the per-bank Misra-Gries ART
+        #: built above with the modulo bank map -- lets the fused epoch
+        #: loop dispatch straight to the bank kernels, skipping the
+        #: per-chunk rank-counter wrapper (counters settle in bulk).
+        self._tracker_mod_banks = (
+            banks if cfg.tracker == "misra-gries" else None
+        )
         self.energy = DramEnergyCounters()
         #: SRAM-pinned FPT entries for the physical rows holding the
         #: in-DRAM tables (avoids recursive lookups, Sec. VI-B).
@@ -145,7 +178,7 @@ class AquaMitigation(MitigationScheme):
 
     @property
     def visible_rows(self) -> int:
-        return self.config.visible_rows
+        return self._visible_rows
 
     def sram_bytes(self) -> int:
         """Mapping-structure SRAM (tables + copy-buffer; Sec. V-G)."""
@@ -201,6 +234,181 @@ class AquaMitigation(MitigationScheme):
         per-epoch slowdown accounting sees the degraded path too.
         """
         return max(self._row_stall_ns.values(), default=0.0)
+
+    # ------------------------------------------------------------- epoch path
+
+    def access_epoch(
+        self,
+        rows: np.ndarray,
+        counts: np.ndarray,
+        start_ns: float,
+        dt_ns: float,
+    ) -> None:
+        """Vectorized epoch feed; exact-equivalent to the scalar loop.
+
+        Two regimes (DESIGN.md §11):
+
+        * **Eventless skip** -- when no row is quarantined, no table row
+          is pinned, and the tracker proves the epoch's per-row totals
+          cannot cross the threshold, every lookup is bloom-filtered
+          identity and every observation is crossing-free, so the whole
+          epoch settles as bulk counter arithmetic.
+        * **Fused loop** -- otherwise, a single Python loop over the
+          chunk arrays feeds the tracker's fast kernel directly.  Rows
+          whose bloom group (memory-mapped) or FPT entry (SRAM) cannot
+          be mapped skip the translation machinery entirely and settle
+          their lookup counters in bulk at epoch end; only chunks that
+          may be quarantined -- or that the kernel flags (spurious
+          installs) -- take the full translate/quarantine path.
+        """
+        if not self._epoch_fast_path_ok(rows, counts):
+            return self._scalar_epoch(rows, counts, start_ns, dt_ns)
+        total = int(counts.sum())
+        last_now = start_ns + dt_ns * (total - int(counts[-1]))
+        epoch_of = self.refresh.epoch_of
+        if epoch_of(start_ns) != epoch_of(last_now):
+            # The chunk timestamps straddle a refresh boundary (only
+            # possible with mismatched timing configs): the scalar
+            # loop's per-chunk epoch sync is then load-bearing.
+            return self._scalar_epoch(rows, counts, start_ns, dt_ns)
+        self._sync_epoch(start_ns)
+        tables = self.tables
+        tracker = self.tracker
+        stats = self.stats
+        mm = isinstance(tables, MemoryMappedTables)
+        mapped = len(tables.dram_fpt) if mm else len(tables.fpt)
+        uniq, inverse = np.unique(rows, return_inverse=True)
+        totals = np.bincount(
+            inverse, weights=counts, minlength=len(uniq)
+        ).astype(np.int64)
+        if mapped == 0 and not self._pinned_fpt:
+            if tracker.epoch_cannot_cross(uniq, totals):
+                stats.accesses += total
+                tracker.settle_epoch_counters(rows, counts)
+                if mm:
+                    tables.outcome_counts[
+                        LookupOutcome.BLOOM_FILTERED
+                    ] += total
+                    tables.bloom.queries += total
+                    tables.bloom.filtered += total
+                else:
+                    tables.fpt.lookups += total
+                self.now_ns = last_now
+                return
+        # Direct per-bank dispatch: when the ART is the modulo-mapped
+        # Misra-Gries tracker with no telemetry, call the bank kernels
+        # straight from the loop and settle the rank-level counters in
+        # bulk afterwards (they are commutative integer sums; table-row
+        # observes go through ``observe_batch``, which maintains its
+        # own rank counters, so they are unaffected).
+        nb = self._tracker_mod_banks
+        direct = None
+        if nb is not None and not tracker._telemetry.enabled:
+            fast_banks = [
+                getattr(tracker._banks[b], "observe_fast", None)
+                for b in range(nb)
+            ]
+            if all(fn is not None for fn in fast_banks):
+                direct = fast_banks
+        kernel = tracker.chunk_kernel() if direct is None else None
+        feed = tracker.sparse_feed_mask(uniq, totals, self._tracker_reserve)
+        feed_l = feed[inverse].tolist()
+        rows_l = rows.tolist()
+        counts_l = counts.tolist()
+        if mm:
+            group_size = tables.bloom.group_size
+            # Bloom-positive groups: a bit is set iff its group is in
+            # ``_valid_in_group``, so the keys are exactly the groups a
+            # lookup would not filter.  Grow-only within the epoch --
+            # releases only ever turn groups negative, which merely
+            # sends their rows down the (still exact) full path.
+            dirty = set(tables.bloom._valid_in_group)
+            keys_l = (rows // group_size).tolist()
+        else:
+            group_size = 0
+            dirty = {row for row, _ in tables.fpt.items()}
+            keys_l = rows_l
+        translate = self._translate_batch
+        quarantine = self._quarantine
+        now = start_ns
+        cold_acts = 0
+        settled_acts = 0
+        trig_sum = 0
+        settle_rows: list = []
+        settle_counts: list = []
+        for row, cnt, key, fd in zip(rows_l, counts_l, keys_l, feed_l):
+            if key in dirty:
+                self.now_ns = now
+                stats.accesses += cnt
+                physical = translate(row, cnt)[0]
+                crossings = (
+                    direct[physical % nb](physical, cnt)
+                    if direct is not None
+                    else kernel(physical, cnt)
+                )
+            elif fd:
+                # Provably unmapped: identity translation whose only
+                # effect is commutative lookup counters, settled in
+                # bulk below.  The tracker still sees the chunk.
+                stats.accesses += cnt
+                crossings = (
+                    direct[row % nb](row, cnt)
+                    if direct is not None
+                    else kernel(row, cnt)
+                )
+                if crossings:
+                    # Rare spurious install: pay the (bloom-filtered)
+                    # lookup now instead of in the bulk settle, then
+                    # mitigate exactly as the scalar path would.
+                    self.now_ns = now
+                    physical = translate(row, cnt)[0]
+                else:
+                    cold_acts += cnt
+                    now += cnt * dt_ns
+                    continue
+            else:
+                # Unmapped *and* settle-safe: the tracker proved this
+                # row cannot cross and that omitting it cannot perturb
+                # any other row, so the chunk is pure bulk accounting.
+                stats.accesses += cnt
+                cold_acts += cnt
+                settled_acts += cnt
+                settle_rows.append(row)
+                settle_counts.append(cnt)
+                now += cnt * dt_ns
+                continue
+            if crossings:
+                trig_sum += crossings
+                busy = 0.0
+                stall = 0.0
+                for _ in range(crossings):
+                    step = quarantine(row, physical, now)
+                    busy += step.busy_ns
+                    stall += step.stalled_ns
+                    physical = step.physical_row
+                stats.busy_ns += busy
+                stats.stall_ns += stall
+                dirty.add(row // group_size if mm else row)
+            now += cnt * dt_ns
+        if direct is not None:
+            # Rank-level counters for the fed chunks, settled in bulk.
+            tracker.observations += total - settled_acts
+            tracker.triggers += trig_sum
+        if settle_rows:
+            tracker.settle_epoch_counters(
+                np.asarray(settle_rows, dtype=np.int64),
+                np.asarray(settle_counts, dtype=np.int64),
+            )
+        if cold_acts:
+            if mm:
+                tables.outcome_counts[
+                    LookupOutcome.BLOOM_FILTERED
+                ] += cold_acts
+                tables.bloom.queries += cold_acts
+                tables.bloom.filtered += cold_acts
+            else:
+                tables.fpt.lookups += cold_acts
+        self.now_ns = last_now
 
     # -------------------------------------------------------------- internals
 

@@ -21,9 +21,12 @@ import abc
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+import numpy as np
+
 from repro.dram.refresh import RefreshScheduler
 from repro.faults import NULL_INJECTOR
 from repro.telemetry import NULL_TELEMETRY
+from repro.workloads.trace import iter_chunks
 
 
 @dataclass
@@ -292,6 +295,59 @@ class MitigationScheme(abc.ABC):
                 "fpt_lookup_ns", lookup_ns, scheme=self.name
             )
         return result
+
+    # ------------------------------------------------------------ epoch path
+
+    def access_epoch(
+        self,
+        rows: np.ndarray,
+        counts: np.ndarray,
+        start_ns: float,
+        dt_ns: float,
+    ) -> None:
+        """Route one epoch's chunked activation stream.
+
+        ``rows``/``counts`` are the trace's parallel int64 arrays; chunk
+        ``i`` is stamped ``start_ns + dt_ns * (activations before it)``,
+        exactly as the simulator's historical per-chunk loop did.
+
+        This scalar loop *defines* the semantics: subclasses that
+        override it with vectorized fast paths must produce bit-identical
+        scheme state (the equivalence suite enforces this), and must
+        fall back to this loop whenever faults or telemetry are
+        attached, since those observe individual chunks.
+        """
+        access_batch = self.access_batch
+        now = start_ns
+        for row, count in iter_chunks(rows, counts):
+            access_batch(row, count, now)
+            now += count * dt_ns
+
+    def _scalar_epoch(
+        self,
+        rows: np.ndarray,
+        counts: np.ndarray,
+        start_ns: float,
+        dt_ns: float,
+    ) -> None:
+        """The scalar reference loop, callable from overrides as a fallback."""
+        MitigationScheme.access_epoch(self, rows, counts, start_ns, dt_ns)
+
+    def _epoch_fast_path_ok(self, rows: np.ndarray, counts: np.ndarray) -> bool:
+        """Whether a vectorized epoch override may engage.
+
+        Faults and telemetry hook individual chunk events, and the
+        scalar path reports bounds/validation errors at the exact
+        offending chunk; vectorized paths bail to the scalar loop in
+        all those cases.
+        """
+        if self.faults.enabled or self.telemetry.enabled:
+            return False
+        if len(rows) == 0:
+            return False
+        if int(counts.min()) < 1:
+            return False
+        return 0 <= int(rows.min()) and int(rows.max()) < self.visible_rows
 
     def table_dram_busy_ns(self) -> float:
         """Channel time consumed by in-DRAM mapping-table accesses."""

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+import numpy as np
+
 from repro.dram.geometry import DramGeometry, DEFAULT_GEOMETRY
 from repro.dram.timing import DDR4Timing, DDR4_2400
 from repro.mitigations.base import AccessResult, MitigationScheme
@@ -161,6 +163,77 @@ class Blockhammer(MitigationScheme):
         result.lookup_outcome = outcome
         self.stats.stall_ns += stall
         return result
+
+    def access_epoch(
+        self,
+        rows: np.ndarray,
+        counts: np.ndarray,
+        start_ns: float,
+        dt_ns: float,
+    ) -> None:
+        """Vectorized epoch feed for the exact estimator.
+
+        With exact per-row counters the post-chunk estimate is a
+        segmented running sum, so every chunk's throttle count
+        ``max(0, after - max(before, B))`` -- equivalently
+        ``clip(after - B, 0, n)`` -- vectorizes; only the (sparse)
+        throttled chunks are walked in stream order to preserve the
+        float accumulation of ``stats.stall_ns`` and the per-row stall
+        ledger.  The CBF RowBlocker's estimates are rotation- and
+        order-dependent, so that estimator keeps the scalar loop.
+        """
+        if self.row_blocker is not None or not self._epoch_fast_path_ok(
+            rows, counts
+        ):
+            return self._scalar_epoch(rows, counts, start_ns, dt_ns)
+        total = int(counts.sum())
+        last_now = start_ns + dt_ns * (total - int(counts[-1]))
+        epoch_of = self.refresh.epoch_of
+        if epoch_of(start_ns) != epoch_of(last_now):
+            return self._scalar_epoch(rows, counts, start_ns, dt_ns)
+        self._sync_epoch(start_ns)
+        stats = self.stats
+        stats.accesses += total
+        # Post-chunk estimates: carry-in from the tracker plus the
+        # stream's segmented cumulative sum (read the carry-ins before
+        # the tracker consumes the epoch below).
+        tracker_counts = self.tracker._counts
+        sorted_idx = np.argsort(rows, kind="stable")
+        sorted_rows = rows[sorted_idx]
+        sorted_counts = counts[sorted_idx]
+        cum = np.cumsum(sorted_counts)
+        seg_starts = np.flatnonzero(
+            np.concatenate(([True], sorted_rows[1:] != sorted_rows[:-1]))
+        )
+        base = np.fromiter(
+            (tracker_counts[row] for row in sorted_rows[seg_starts].tolist()),
+            dtype=np.int64,
+            count=len(seg_starts),
+        )
+        seg_lengths = np.diff(np.append(seg_starts, len(sorted_rows)))
+        carry = np.repeat(
+            base - (cum[seg_starts] - sorted_counts[seg_starts]),
+            seg_lengths,
+        )
+        after = np.empty(len(rows), dtype=np.int64)
+        after[sorted_idx] = cum + carry
+        self.tracker.observe_epoch(rows, counts)
+        throttled = np.minimum(
+            counts, np.maximum(after - self.blacklist_threshold, 0)
+        )
+        hot = np.flatnonzero(throttled)
+        if len(hot):
+            interval = self.min_interval_ns
+            row_stall = self._row_stall_ns
+            for row, n_throttled in zip(
+                rows[hot].tolist(), throttled[hot].tolist()
+            ):
+                stall = n_throttled * interval
+                self.throttled_accesses += n_throttled
+                row_stall[row] = row_stall.get(row, 0.0) + stall
+                stats.stall_ns += stall
+        self._now_ns = last_now
+        self.now_ns = last_now
 
     def epoch_peak_row_stall_ns(self) -> float:
         """Largest cumulative stall imposed on any single row this epoch.

@@ -8,6 +8,8 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+import numpy as np
+
 from repro.mitigations.base import AccessResult, MitigationScheme
 
 
@@ -41,3 +43,23 @@ class NoMitigation(MitigationScheme):
         self, logical_row: int, physical_row: int, now_ns: float
     ) -> AccessResult:  # pragma: no cover - never reached
         raise AssertionError("NoMitigation never mitigates")
+
+    def access_epoch(
+        self,
+        rows: np.ndarray,
+        counts: np.ndarray,
+        start_ns: float,
+        dt_ns: float,
+    ) -> None:
+        """With no tracker and identity translation, an epoch is pure
+        bulk arithmetic: the access counter and the final timestamp."""
+        if not self._epoch_fast_path_ok(rows, counts):
+            return self._scalar_epoch(rows, counts, start_ns, dt_ns)
+        total = int(counts.sum())
+        last_now = start_ns + dt_ns * (total - int(counts[-1]))
+        epoch_of = self.refresh.epoch_of
+        if epoch_of(start_ns) != epoch_of(last_now):
+            return self._scalar_epoch(rows, counts, start_ns, dt_ns)
+        self._sync_epoch(start_ns)
+        self.stats.accesses += total
+        self.now_ns = last_now

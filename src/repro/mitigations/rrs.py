@@ -24,6 +24,8 @@ from __future__ import annotations
 import random
 from typing import Dict, Optional, Tuple
 
+import numpy as np
+
 from repro.core.migration import MigrationCosts, publish_costs
 from repro.dram.data import RowDataStore
 from repro.dram.geometry import DramGeometry, DEFAULT_GEOMETRY
@@ -143,6 +145,64 @@ class RandomizedRowSwap(MitigationScheme):
     def _end_epoch(self, new_epoch: int) -> None:
         super()._end_epoch(new_epoch)
         self.tracker.reset()
+
+    def access_epoch(
+        self,
+        rows: np.ndarray,
+        counts: np.ndarray,
+        start_ns: float,
+        dt_ns: float,
+    ) -> None:
+        """Fused epoch feed (exact-equivalent to the scalar loop).
+
+        The RIT lookup is a dict probe and swaps draw from a seeded RNG
+        in stream order, so the stream must be walked chunk-by-chunk --
+        but the per-chunk :meth:`access_batch` framing (AccessResult
+        construction, telemetry branches) is fused away, and an epoch
+        with no swapped rows and a provably crossing-free stream
+        settles as bulk counter arithmetic.
+        """
+        if not self._epoch_fast_path_ok(rows, counts):
+            return self._scalar_epoch(rows, counts, start_ns, dt_ns)
+        total = int(counts.sum())
+        last_now = start_ns + dt_ns * (total - int(counts[-1]))
+        epoch_of = self.refresh.epoch_of
+        if epoch_of(start_ns) != epoch_of(last_now):
+            return self._scalar_epoch(rows, counts, start_ns, dt_ns)
+        self._sync_epoch(start_ns)
+        tracker = self.tracker
+        stats = self.stats
+        if not self._map:
+            uniq, inverse = np.unique(rows, return_inverse=True)
+            totals = np.bincount(
+                inverse, weights=counts, minlength=len(uniq)
+            ).astype(np.int64)
+            # With an empty RIT every translation is the identity, so
+            # the logical totals are the physical totals the tracker
+            # would see; a crossing-free verdict settles everything.
+            if tracker.epoch_cannot_cross(uniq, totals):
+                stats.accesses += total
+                tracker.settle_epoch_counters(rows, counts)
+                self.now_ns = last_now
+                return
+        kernel = tracker.chunk_kernel()
+        map_get = self._map.get
+        mitigate = self._mitigate
+        now = start_ns
+        for row, cnt in zip(rows.tolist(), counts.tolist()):
+            stats.accesses += cnt
+            physical = map_get(row, row)
+            crossings = kernel(physical, cnt)
+            if crossings:
+                self.now_ns = now
+                busy = 0.0
+                for _ in range(crossings):
+                    step = mitigate(row, physical, now)
+                    busy += step.busy_ns
+                    physical = step.physical_row
+                stats.busy_ns += busy
+            now += cnt * dt_ns
+        self.now_ns = last_now
 
     # -------------------------------------------------------------- internals
 

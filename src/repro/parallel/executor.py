@@ -285,7 +285,61 @@ def _execute_point(point: RunPoint, options: ExecOptions) -> dict:
     return payload
 
 
+def _execute_chunk(
+    chunk: List[RunPoint], options: ExecOptions
+) -> List[dict]:
+    """Run a batch of points in one worker task (same order, same
+    payloads as point-at-a-time submission -- only the dispatch
+    overhead is amortized)."""
+    return [_execute_point(point, options) for point in chunk]
+
+
 # ------------------------------------------------------------ parent side
+
+#: Pool tasks submitted per worker.  One task per point maximises
+#: balance but pays per-task pickle/dispatch overhead on every point;
+#: one task per worker amortises best but lets a slow chunk idle the
+#: other workers.  Four chunks per worker keeps dispatch cost ~O(jobs)
+#: while bounding tail imbalance to ~1/4 of a worker's share.
+_CHUNKS_PER_WORKER = 4
+
+
+def _chunk_points(
+    pending: List[RunPoint], jobs: int
+) -> List[List[RunPoint]]:
+    """Split points into at most ``jobs * _CHUNKS_PER_WORKER``
+    contiguous batches, preserving grid order within each batch."""
+    if not pending:
+        return []
+    size = max(1, -(-len(pending) // (jobs * _CHUNKS_PER_WORKER)))
+    return [
+        pending[i:i + size] for i in range(0, len(pending), size)
+    ]
+
+
+def _prewarm_trace_cache(points: List[RunPoint]) -> None:
+    """Generate each distinct epoch trace once, in the parent.
+
+    Fork-started worker processes (the default on Linux) inherit the
+    warm memo cache, so a grid sweeping many schemes over few
+    workloads generates each trace once instead of once per worker.
+    Spawn-started platforms simply regenerate in the workers --
+    traces are pure functions of their key, so correctness never
+    depends on the cache.  Failures (unknown workload names) are left
+    for the worker, where they produce a proper failure payload.
+    """
+    seen = set()
+    for point in points:
+        key = (point.workload, point.seed, point.epochs)
+        if key in seen:
+            continue
+        seen.add(key)
+        try:
+            target = resolve_workload(point.workload, seed=point.seed)
+            for epoch in range(point.epochs):
+                target.epoch_trace(epoch)
+        except Exception:
+            continue
 
 
 def _run_pool(
@@ -303,17 +357,23 @@ def _run_pool(
         initargs=(journal_base,),
     ) as pool:
         futures = {}
-        for point in pending:
+        for chunk in _chunk_points(pending, jobs):
             try:
-                futures[pool.submit(_execute_point, point, options)] = point
+                futures[pool.submit(_execute_chunk, chunk, options)] = chunk
             except BrokenExecutor:
-                implicated.append(point)
+                implicated.extend(chunk)
         for future in as_completed(futures):
-            point = futures[future]
+            chunk = futures[future]
             try:
-                payloads[point.key] = future.result()
+                chunk_payloads = future.result()
             except BrokenExecutor:
-                implicated.append(point)
+                # A worker died somewhere in this chunk; every point in
+                # it is implicated until the journal or a solo re-run
+                # clears it.
+                implicated.extend(chunk)
+                continue
+            for point, payload in zip(chunk, chunk_payloads):
+                payloads[point.key] = payload
     if not implicated:
         return payloads
     # Crash isolation: a dead worker broke the shared pool, poisoning
@@ -444,6 +504,8 @@ def run_sweep_parallel(
                     WorkloadResult.from_dict(payload["result"]),
                 )
     else:
+        if pending:
+            _prewarm_trace_cache(pending)
         payloads = _run_pool(
             pending,
             jobs,

@@ -72,13 +72,9 @@ class SystemSimulator:
             total_acts += total
             start = epoch * epoch_ns
             dt = epoch_ns / (total + 1)
-            now = start
-            access_batch = scheme.access_batch
-            for row, count in zip(
-                trace.rows.tolist(), trace.counts.tolist()
-            ):
-                access_batch(row, count, now)
-                now += count * dt
+            # The scheme owns the per-chunk loop (or a vectorized
+            # equivalent); timestamps spread uniformly through the epoch.
+            scheme.access_epoch(trace.rows, trace.counts, start, dt)
             peak_stall += self._epoch_peak_stall()
             if telemetry.enabled:
                 telemetry.epoch_snapshot(

@@ -11,8 +11,9 @@ from __future__ import annotations
 
 from collections import Counter
 
+import numpy as np
 
-from repro.trackers.base import AggressorTracker
+from repro.trackers.base import AggressorTracker, segmented_stream_crossings
 
 
 class ExactTracker(AggressorTracker):
@@ -43,6 +44,96 @@ class ExactTracker(AggressorTracker):
         crossings = after // self.threshold - before // self.threshold
         self.triggers += crossings
         return crossings
+
+    def observe_epoch(
+        self, rows: np.ndarray, counts: np.ndarray
+    ) -> np.ndarray:
+        """Array kernel: exact counters commute across rows, so the
+        whole stream reduces to a segmented cumulative sum."""
+        if len(rows) != len(counts):
+            raise ValueError("rows and counts must align")
+        if len(rows) == 0:
+            return np.zeros(0, dtype=np.int64)
+        if int(counts.min()) < 0:
+            raise ValueError("count must be non-negative")
+        out_len = len(rows)
+        zero_mask = None
+        if int(counts.min()) == 0:
+            # observe_batch returns early on zero counts without even
+            # materialising a Counter entry; mirror that.
+            zero_mask = counts > 0
+            rows = rows[zero_mask]
+            counts = counts[zero_mask]
+            if len(rows) == 0:
+                return np.zeros(out_len, dtype=np.int64)
+        crossings, uniq, totals = segmented_stream_crossings(
+            rows, counts, self._counts, self.threshold
+        )
+        for row, total in zip(uniq.tolist(), totals.tolist()):
+            self._counts[row] += total
+        self.observations += int(counts.sum())
+        self.triggers += int(crossings.sum())
+        if zero_mask is not None:
+            out = np.zeros(out_len, dtype=np.int64)
+            out[zero_mask] = crossings
+            return out
+        return crossings
+
+    def epoch_cannot_cross(
+        self, unique_rows: np.ndarray, unique_totals: np.ndarray
+    ) -> bool:
+        """Exact counters cross only when a row's running total steps
+        over a threshold multiple within the epoch."""
+        if len(unique_rows) == 0:
+            return True
+        threshold = self.threshold
+        if not self._counts:
+            return bool((unique_totals < threshold).all())
+        rem = np.fromiter(
+            (self._counts[row] % threshold for row in unique_rows.tolist()),
+            dtype=np.int64,
+            count=len(unique_rows),
+        )
+        return bool((rem + unique_totals < threshold).all())
+
+    def sparse_feed_mask(
+        self,
+        unique_rows: np.ndarray,
+        unique_totals: np.ndarray,
+        reserve: int = 0,
+    ) -> np.ndarray:
+        """Exact counters are independent per row, so a row may be
+        settled out of the stream whenever its own running total cannot
+        step over a threshold multiple (``reserve`` is irrelevant:
+        there is no shared capacity)."""
+        if len(unique_rows) == 0:
+            return np.ones(0, dtype=bool)
+        threshold = self.threshold
+        if not self._counts:
+            return unique_totals >= threshold
+        rem = np.fromiter(
+            (self._counts[row] % threshold for row in unique_rows.tolist()),
+            dtype=np.int64,
+            count=len(unique_rows),
+        )
+        return rem + unique_totals >= threshold
+
+    def settle_epoch_counters(
+        self, rows: np.ndarray, counts: np.ndarray
+    ) -> None:
+        """Bulk-settle a provably eventless epoch, counters included.
+
+        Unlike estimators, exact counts are observable state (``estimate``
+        and ``rows_at_or_above`` read them), so the per-row totals are
+        applied, not skipped.
+        """
+        self.observations += int(counts.sum())
+        uniq, inverse = np.unique(rows, return_inverse=True)
+        totals = np.bincount(
+            inverse, weights=counts, minlength=len(uniq)
+        ).astype(np.int64)
+        for row, total in zip(uniq.tolist(), totals.tolist()):
+            self._counts[row] += total
 
     def estimate(self, row_id: int) -> int:
         return self._counts[row_id]

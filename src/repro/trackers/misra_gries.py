@@ -41,6 +41,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
+import numpy as np
+
 from repro.dram.timing import DDR4_2400
 from repro.trackers.base import AggressorTracker, PerBankTracker
 
@@ -174,6 +176,125 @@ class MisraGriesBank(AggressorTracker):
         if crossings:
             self.triggers += crossings
         return crossings
+
+    def observe_fast(self, row_id: int, n: int) -> int:
+        """Telemetry-free :meth:`observe_batch` with the helpers inlined.
+
+        Callers (``PerBankTracker.chunk_kernel`` and the schemes'
+        vectorized epoch paths) guarantee ``n >= 1`` and no attached
+        telemetry.  This must mirror ``observe_batch`` *exactly* -- the
+        equivalence suite compares full bank state after interleaved
+        use of both entry points -- the only deltas are skipped
+        telemetry branches and inlined bucket/min-pointer maintenance.
+        """
+        self.observations += n
+        threshold = self.threshold
+        counts = self._counts
+        buckets = self._buckets
+        count = counts.get(row_id)
+        if count is not None:
+            bucket = buckets[count]
+            del bucket[row_id]
+            if not bucket:
+                del buckets[count]
+            new_count = count + n
+            counts[row_id] = new_count
+            other = buckets.get(new_count)
+            if other is None:
+                buckets[new_count] = {row_id: None}
+            else:
+                other[row_id] = None
+            min_count = self._min_count
+            while min_count not in buckets:
+                min_count += 1
+            self._min_count = min_count
+            crossings = new_count // threshold - count // threshold
+            if crossings:
+                self.triggers += crossings
+            return crossings
+        if len(counts) < self.capacity:
+            base = self.spill
+            new_count = base + n
+        else:
+            min_count = self._min_count
+            while min_count not in buckets:
+                min_count += 1
+            spill = self.spill
+            misses = min_count - spill
+            if misses < 1:
+                misses = 1
+            if n < misses:
+                self.spill = spill + n
+                self._min_count = min_count
+                return 0
+            spill += misses
+            self.spill = spill
+            bucket = buckets[min_count]
+            victim = next(iter(bucket))
+            del bucket[victim]
+            if not bucket:
+                del buckets[min_count]
+            del counts[victim]
+            if counts:
+                while min_count not in buckets:
+                    min_count += 1
+            self._min_count = min_count
+            base = spill
+            new_count = spill + 1 + (n - misses)
+        # _install, inlined.
+        counts[row_id] = new_count
+        other = buckets.get(new_count)
+        if other is None:
+            buckets[new_count] = {row_id: None}
+        else:
+            other[row_id] = None
+        if len(counts) == 1 or new_count < self._min_count:
+            self._min_count = new_count
+        crossings = new_count // threshold - base // threshold
+        if crossings > 0:
+            if new_count >= threshold and base > 0:
+                self.spurious_installs += crossings
+            self.triggers += crossings
+            return crossings
+        return 0
+
+    def epoch_cannot_cross(self, unique_rows, unique_totals) -> bool:
+        """No crossings possible: fresh bank, room for every distinct
+        row (the spill counter never moves, so estimates stay exact),
+        and no row total reaching the threshold.  Spurious installs
+        need a moving spill counter, so they are excluded too.
+        """
+        if self._counts or self.spill:
+            return False
+        if len(unique_rows) > self.capacity:
+            return False
+        return bool((unique_totals < self.threshold).all())
+
+    def sparse_feed_mask(
+        self,
+        unique_rows: np.ndarray,
+        unique_totals: np.ndarray,
+        reserve: int = 0,
+    ) -> np.ndarray:
+        """Rows safe to omit from a fresh, never-full bank.
+
+        When the bank starts empty and every distinct row -- plus up to
+        ``reserve`` extra installs the caller may still cause -- fits in
+        the table, no eviction ever happens and the spill counter never
+        moves, so each row's estimate is its exact count, independent
+        of every other row.  Omitting sub-threshold rows then changes
+        nothing observable: they could not cross, and their absence
+        cannot alter any other row's estimate.  Otherwise (non-empty
+        bank, moving spill, or capacity pressure) everything must
+        stream.
+        """
+        if (
+            self._counts
+            or self.spill
+            or len(unique_rows) + reserve > self.capacity
+        ):
+            return np.ones(len(unique_rows), dtype=bool)
+        return unique_totals >= self.threshold
 
     def estimate(self, row_id: int) -> int:
         return self._counts.get(row_id, 0)

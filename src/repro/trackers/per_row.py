@@ -16,7 +16,9 @@ from __future__ import annotations
 
 from collections import Counter, OrderedDict
 
-from repro.trackers.base import AggressorTracker
+import numpy as np
+
+from repro.trackers.base import AggressorTracker, segmented_stream_crossings
 
 
 class PerRowCounterTracker(AggressorTracker):
@@ -73,6 +75,44 @@ class PerRowCounterTracker(AggressorTracker):
         self._counts[row_id] = after
         crossings = after // self.threshold - before // self.threshold
         self.triggers += crossings
+        return crossings
+
+    def observe_epoch(
+        self, rows: np.ndarray, counts: np.ndarray
+    ) -> np.ndarray:
+        """Hybrid kernel: the LRU counter cache is stream-order
+        dependent so it is touched chunk by chunk, while the exact
+        counter math (order-free) settles as one segmented sum."""
+        if len(rows) != len(counts):
+            raise ValueError("rows and counts must align")
+        if len(rows) == 0:
+            return np.zeros(0, dtype=np.int64)
+        if int(counts.min()) < 0:
+            raise ValueError("count must be non-negative")
+        out_len = len(rows)
+        zero_mask = None
+        if int(counts.min()) == 0:
+            # observe_batch skips zero-count chunks entirely (no cache
+            # touch); mirror that so LRU state matches the scalar path.
+            zero_mask = counts > 0
+            rows = rows[zero_mask]
+            counts = counts[zero_mask]
+            if len(rows) == 0:
+                return np.zeros(out_len, dtype=np.int64)
+        touch = self._touch_cache
+        for row in rows.tolist():
+            touch(row)
+        crossings, uniq, totals = segmented_stream_crossings(
+            rows, counts, self._counts, self.threshold
+        )
+        for row, total in zip(uniq.tolist(), totals.tolist()):
+            self._counts[row] += total
+        self.observations += int(counts.sum())
+        self.triggers += int(crossings.sum())
+        if zero_mask is not None:
+            out = np.zeros(out_len, dtype=np.int64)
+            out[zero_mask] = crossings
+            return out
         return crossings
 
     def estimate(self, row_id: int) -> int:

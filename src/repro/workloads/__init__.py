@@ -21,7 +21,10 @@ from repro.workloads.trace import (
 from repro.workloads.spec import (
     MAX_BACKGROUND_ACTS,
     RESERVED_TOP_ROWS,
+    TRACE_CACHE_ENTRIES,
     SyntheticWorkload,
+    clear_trace_cache,
+    trace_cache_stats,
     workload,
 )
 from repro.workloads.mixes import (
@@ -44,7 +47,10 @@ __all__ = [
     "memory_boundness",
     "MAX_BACKGROUND_ACTS",
     "RESERVED_TOP_ROWS",
+    "TRACE_CACHE_ENTRIES",
     "SyntheticWorkload",
+    "clear_trace_cache",
+    "trace_cache_stats",
     "workload",
     "MIX_SEED",
     "NUM_MIXES",

@@ -23,7 +23,8 @@ workload and epoch) from within the band:
 from __future__ import annotations
 
 import zlib
-from typing import Optional
+from collections import OrderedDict
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -57,6 +58,29 @@ _BAND_BOUNDS = {
     "500": (505, 990),
     "166": (170, 490),
 }
+
+#: Upper bound on memoized epoch traces (LRU).  A quick bench sweep
+#: touches ~10 distinct (workload, seed, epoch) traces; a full-grid
+#: sweep a few dozen.  Traces are a few hundred KB each, so 64 entries
+#: cap the cache well under 100 MB while covering realistic sweeps.
+TRACE_CACHE_ENTRIES = 64
+
+_trace_cache: "OrderedDict[tuple, EpochTrace]" = OrderedDict()
+_trace_cache_hits = 0
+_trace_cache_misses = 0
+
+
+def trace_cache_stats() -> Tuple[int, int, int]:
+    """(hits, misses, live entries) of the epoch-trace memo cache."""
+    return _trace_cache_hits, _trace_cache_misses, len(_trace_cache)
+
+
+def clear_trace_cache() -> None:
+    """Drop all memoized traces (tests; long-lived servers)."""
+    global _trace_cache_hits, _trace_cache_misses
+    _trace_cache.clear()
+    _trace_cache_hits = 0
+    _trace_cache_misses = 0
 
 
 class SyntheticWorkload:
@@ -175,8 +199,51 @@ class SyntheticWorkload:
     #: FPT-Cache serve a much larger quarantined population, Sec. V-C).
     PHASE_SPREAD = 0.15
 
+    def _trace_key(self, epoch: int) -> tuple:
+        """Content key covering every input that shapes the trace.
+
+        ``WorkloadSpec`` and ``DramGeometry`` are frozen dataclasses,
+        so the key hashes their *values* -- two generators configured
+        identically share a cache entry regardless of object identity.
+        """
+        return (
+            self.spec,
+            self.geometry,
+            self.seed,
+            epoch,
+            self.chunk,
+            self.region_base,
+            self.region_rows,
+            self.max_background_acts,
+        )
+
     def epoch_trace(self, epoch: int = 0) -> EpochTrace:
-        """Generate this workload's activation stream for ``epoch``."""
+        """Generate this workload's activation stream for ``epoch``.
+
+        Traces are pure functions of :meth:`_trace_key`, so results are
+        memoized in a process-wide LRU cache; a fork-based worker pool
+        inherits warm entries from the parent for free.  Cached arrays
+        are frozen (``writeable=False``) so a consumer mutating a
+        shared trace fails loudly instead of corrupting later runs.
+        """
+        global _trace_cache_hits, _trace_cache_misses
+        key = self._trace_key(epoch)
+        cached = _trace_cache.get(key)
+        if cached is not None:
+            _trace_cache.move_to_end(key)
+            _trace_cache_hits += 1
+            return cached
+        _trace_cache_misses += 1
+        trace = self._generate_trace(epoch)
+        trace.rows.setflags(write=False)
+        trace.counts.setflags(write=False)
+        _trace_cache[key] = trace
+        while len(_trace_cache) > TRACE_CACHE_ENTRIES:
+            _trace_cache.popitem(last=False)
+        return trace
+
+    def _generate_trace(self, epoch: int) -> EpochTrace:
+        """Uncached trace construction (see :meth:`epoch_trace`)."""
         rng = self._rng(epoch)
         hot_rows, hot_totals = self._band_counts(rng)
         bg_rows, bg_totals = self._background(rng, int(hot_totals.sum()))

@@ -36,6 +36,19 @@ ACT_PER_MISS = 0.6
 DEFAULT_CHUNK = 64
 
 
+def iter_chunks(
+    rows: np.ndarray, counts: np.ndarray
+) -> Iterator[Tuple[int, int]]:
+    """Iterate parallel (row, count) arrays as Python-int pairs.
+
+    The single conversion point from numpy storage to scalar chunks:
+    one bulk ``tolist`` per array instead of a per-element unboxing in
+    the hot loop.  Shared by :meth:`EpochTrace.chunks` and the scalar
+    reference path of ``MitigationScheme.access_epoch``.
+    """
+    return zip(rows.tolist(), counts.tolist())
+
+
 def memory_boundness(mpki: float) -> float:
     """Fraction of execution time that dilates with memory time."""
     if mpki < 0:
@@ -71,20 +84,28 @@ class EpochTrace:
 
     def chunks(self) -> Iterator[Tuple[int, int]]:
         """Iterate (row, count) pairs in stream order."""
-        return zip(self.rows.tolist(), self.counts.tolist())
+        return iter_chunks(self.rows, self.counts)
+
+    def unique_totals(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Distinct rows (sorted) and their epoch activation totals."""
+        if len(self.rows) == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        uniq, inverse = np.unique(self.rows, return_inverse=True)
+        totals = np.bincount(
+            inverse, weights=self.counts, minlength=len(uniq)
+        ).astype(np.int64)
+        return uniq, totals
 
     def row_totals(self) -> dict:
         """Aggregate activations per row (for Table II verification)."""
-        totals: dict = {}
-        for row, count in zip(self.rows.tolist(), self.counts.tolist()):
-            totals[row] = totals.get(row, 0) + count
-        return totals
+        uniq, totals = self.unique_totals()
+        return dict(zip(uniq.tolist(), totals.tolist()))
 
     def rows_at_or_above(self, threshold: int) -> int:
         """Rows whose epoch total reaches ``threshold`` activations."""
-        return sum(
-            1 for total in self.row_totals().values() if total >= threshold
-        )
+        _, totals = self.unique_totals()
+        return int((totals >= threshold).sum())
 
 
 def chunk_counts(

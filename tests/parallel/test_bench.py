@@ -170,3 +170,76 @@ class TestBenchCli:
         out = capsys.readouterr().out
         assert "PERF REGRESSION" in out
         assert "--update-baseline" in out  # the documented escape hatch
+
+
+class TestProfile:
+    def test_profile_block_present_and_ranked(self):
+        registry = MetricsRegistry()
+        result = bench.run_case(TINY, registry, profile=True)
+        rows = result["profile"]
+        assert 0 < len(rows) <= bench.PROFILE_TOP
+        for row in rows:
+            assert set(row) == {"func", "ncalls", "tottime_s", "cumtime_s"}
+        cums = [row["cumtime_s"] for row in rows]
+        assert cums == sorted(cums, reverse=True)
+
+    def test_profile_off_by_default(self):
+        registry = MetricsRegistry()
+        result = bench.run_case(TINY, registry)
+        assert "profile" not in result
+
+    def test_profiled_report_stays_schema_valid(self):
+        report = bench.run_bench((TINY,), profile=True)
+        bench.validate_report(report)
+
+    def test_cli_profile_flag_emits_stderr_summary(self, tmp_path, capsys):
+        assert cli_main(
+            ["bench", "--quick", "--out", str(tmp_path), "--profile"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "profile[" in captured.err
+        written = list(tmp_path.glob("BENCH_*.json"))
+        report = bench.load_report(str(written[0]))
+        for case in report["cases"].values():
+            assert case["profile"]
+
+
+class TestParallelOverheadGate:
+    def _paired_report(self, serial_s, parallel_s):
+        report = make_report()
+        report["cases"] = {
+            "serial": dict(wall_s=serial_s, acts_per_s=1.0,
+                           peak_rss_kb=1.0),
+            "parallel-j2": dict(wall_s=parallel_s, acts_per_s=1.0,
+                                peak_rss_kb=1.0),
+        }
+        return report
+
+    def test_parallel_beating_serial_passes(self):
+        report = self._paired_report(serial_s=1.0, parallel_s=0.8)
+        assert bench.compare_parallel_overhead(report) == []
+
+    def test_parallel_overhead_regression_detected(self):
+        report = self._paired_report(serial_s=1.0, parallel_s=2.0)
+        regressions = bench.compare_parallel_overhead(
+            report, tolerance=0.25, slack_s=0.25
+        )
+        assert len(regressions) == 1
+        assert "parallel-j2" in regressions[0]
+        assert "serial" in regressions[0]
+
+    def test_slack_absorbs_pool_noise(self):
+        # +20ms over a 100ms serial wall: inside the absolute grace.
+        report = self._paired_report(serial_s=0.1, parallel_s=0.12)
+        assert bench.compare_parallel_overhead(report) == []
+
+    def test_unpaired_cases_are_ignored(self):
+        report = make_report()  # only "tiny" -- no pair present
+        assert bench.compare_parallel_overhead(report) == []
+
+    def test_compare_includes_overhead_gate(self):
+        current = self._paired_report(serial_s=1.0, parallel_s=5.0)
+        baseline = self._paired_report(serial_s=1.0, parallel_s=5.0)
+        baseline["config_digest"] = current["config_digest"]
+        regressions, _ = bench.compare(current, baseline)
+        assert any("parallel-j2" in r for r in regressions)

@@ -1,0 +1,116 @@
+"""Epoch-trace memoization: identity, keying, LRU bounds, safety."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    TRACE_CACHE_ENTRIES,
+    SyntheticWorkload,
+    WorkloadSpec,
+    clear_trace_cache,
+    trace_cache_stats,
+)
+
+SPEC = WorkloadSpec(
+    name="memo-spec", mpki=6.0, act_166_plus=4, act_500_plus=2,
+    act_1k_plus=1,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_trace_cache()
+    yield
+    clear_trace_cache()
+
+
+def _workload(**kwargs) -> SyntheticWorkload:
+    kwargs.setdefault("max_background_acts", 2000)
+    return SyntheticWorkload(SPEC, **kwargs)
+
+
+def test_repeat_call_hits_cache_and_returns_same_object():
+    target = _workload(seed=3)
+    first = target.epoch_trace(0)
+    second = target.epoch_trace(0)
+    assert second is first
+    hits, misses, live = trace_cache_stats()
+    assert (hits, misses, live) == (1, 1, 1)
+
+
+def test_key_is_content_not_identity():
+    """Two identically-configured generators share one entry."""
+    a = _workload(seed=3)
+    b = _workload(seed=3)
+    assert b.epoch_trace(1) is a.epoch_trace(1)
+    hits, misses, live = trace_cache_stats()
+    assert (hits, misses, live) == (1, 1, 1)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    (
+        {"seed": 4},
+        {"seed": 3, "chunk": 8},
+        {"seed": 3, "region_base": 64},
+        {"seed": 3, "max_background_acts": 500},
+    ),
+)
+def test_distinct_configs_get_distinct_entries(kwargs):
+    base = _workload(seed=3)
+    other = _workload(**kwargs)
+    assert other.epoch_trace(0) is not base.epoch_trace(0)
+    hits, misses, live = trace_cache_stats()
+    assert (hits, misses, live) == (0, 2, 2)
+
+
+def test_distinct_epochs_get_distinct_entries():
+    target = _workload(seed=3)
+    assert target.epoch_trace(1) is not target.epoch_trace(0)
+
+
+def test_cached_arrays_are_frozen():
+    trace = _workload(seed=3).epoch_trace(0)
+    with pytest.raises(ValueError):
+        trace.rows[0] = 1
+    with pytest.raises(ValueError):
+        trace.counts[0] = 1
+
+
+def test_lru_eviction_bounds_cache():
+    target = _workload(seed=5)
+    for epoch in range(TRACE_CACHE_ENTRIES + 8):
+        target.epoch_trace(epoch)
+    hits, misses, live = trace_cache_stats()
+    assert live == TRACE_CACHE_ENTRIES
+    assert misses == TRACE_CACHE_ENTRIES + 8
+    # Epoch 0 was the oldest entry: evicted, so it re-misses...
+    target.epoch_trace(0)
+    assert trace_cache_stats()[1] == misses + 1
+    # ...while the newest epoch is still resident.
+    target.epoch_trace(TRACE_CACHE_ENTRIES + 7)
+    assert trace_cache_stats()[0] == hits + 1
+
+
+def test_clear_trace_cache_resets_everything():
+    target = _workload(seed=3)
+    target.epoch_trace(0)
+    target.epoch_trace(0)
+    clear_trace_cache()
+    assert trace_cache_stats() == (0, 0, 0)
+    # A post-clear call regenerates (fresh miss), equal content.
+    again = target.epoch_trace(0)
+    assert trace_cache_stats() == (0, 1, 1)
+    np.testing.assert_array_equal(again.rows, target.epoch_trace(0).rows)
+
+
+def test_memoized_trace_is_deterministic():
+    """Cache on or off, the trace content is identical."""
+    target = _workload(seed=9)
+    cached = target.epoch_trace(2)
+    fresh = target._generate_trace(2)
+    np.testing.assert_array_equal(cached.rows, fresh.rows)
+    np.testing.assert_array_equal(cached.counts, fresh.counts)
+    assert cached.total_activations == fresh.total_activations
